@@ -1,0 +1,43 @@
+//! # FuseME: a distributed matrix computation engine
+//!
+//! A from-scratch Rust reproduction of *FuseME: Distributed Matrix
+//! Computation Engine based on Cuboid-based Fused Operator and Plan
+//! Generation* (SIGMOD 2022). The crate wires the paper's two contributions
+//! — the **Cuboid-based Fused Operator** (CFO) and the **Cuboid-based
+//! Fusion plan Generator** (CFG) — together with faithful re-implementations
+//! of the systems it is evaluated against (SystemDS-style GEN planning with
+//! BFO/RFO operators, MatFast-style folded operators, DistME's CuboidMM),
+//! all running on a deterministic distributed-runtime simulator that
+//! measures communication exactly and enforces per-task memory budgets.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fuseme::prelude::*;
+//!
+//! // A cluster like the paper's testbed, scaled down for a laptop.
+//! let mut cc = ClusterConfig::paper_testbed();
+//! cc.mem_per_task = 64 << 20;
+//! let engine = Engine::fuseme(cc);
+//!
+//! // Describe the data and the query (the paper's running NMF example).
+//! let mut session = Session::new(engine);
+//! session.gen_sparse("X", 400, 400, 64, 0.01, 7).unwrap();
+//! session.gen_dense("U", 400, 64, 64, 8).unwrap();
+//! session.gen_dense("V", 400, 64, 64, 9).unwrap();
+//! let report = session
+//!     .run_script("out = X * log(U %*% t(V) + 0.00000001)")
+//!     .unwrap();
+//! assert!(report.stats.comm.total() > 0);
+//! let out = &report.outputs[0];
+//! assert_eq!(out.shape().rows, 400);
+//! ```
+
+pub mod engine;
+pub mod prelude;
+pub mod session;
+pub mod stats;
+
+pub use engine::{Engine, EngineKind};
+pub use session::{RunReport, Session};
+pub use stats::{RunStatus, RunSummary};

@@ -1,0 +1,15 @@
+//! Convenient re-exports for library users.
+
+pub use crate::engine::{Engine, EngineKind, RunOutcome};
+pub use crate::session::{RunReport, Session, SessionError};
+pub use crate::stats::{RunStatus, RunSummary};
+
+pub use fuseme_exec::driver::{ExecConfig, MatmulStrategy};
+pub use fuseme_fusion::cfg::Cfg;
+pub use fuseme_fusion::optimizer::Pqr;
+pub use fuseme_fusion::plan::{ExecUnit, FusionPlan, PartialPlan};
+pub use fuseme_matrix::{
+    gen, AggOp, BinOp, Block, BlockedMatrix, DenseBlock, MatrixMeta, Shape, SparseBlock, UnaryOp,
+};
+pub use fuseme_plan::{Bindings, DagBuilder, QueryDag};
+pub use fuseme_sim::{Cluster, ClusterConfig, CommStats, SimError};

@@ -1,0 +1,237 @@
+//! User-facing sessions: named datasets + script or DAG execution.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fuseme_exec::driver::EngineStats;
+use fuseme_lang::compile;
+use fuseme_matrix::{gen, BlockedMatrix, MatrixMeta};
+use fuseme_plan::{Bindings, QueryDag};
+use fuseme_sim::SimError;
+
+use crate::engine::Engine;
+
+/// A session holds an engine plus named matrices, and runs scripts or DAGs
+/// against them — the equivalent of FuseME's Scala/DML user surface.
+#[derive(Debug)]
+pub struct Session {
+    engine: Engine,
+    data: HashMap<String, Arc<BlockedMatrix>>,
+}
+
+/// Everything a run returns.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Materialized outputs, in the script's output order.
+    pub outputs: Vec<Arc<BlockedMatrix>>,
+    /// Execution statistics.
+    pub stats: EngineStats,
+}
+
+/// Session-level failures.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The script failed to compile.
+    Compile(fuseme_lang::CompileError),
+    /// Execution failed (OOM, timeout, kernel error).
+    Exec(SimError),
+    /// Data generation / binding problem.
+    Data(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Compile(e) => write!(f, "{e}"),
+            SessionError::Exec(e) => write!(f, "{e}"),
+            SessionError::Data(msg) => write!(f, "session data error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<SimError> for SessionError {
+    fn from(e: SimError) -> Self {
+        SessionError::Exec(e)
+    }
+}
+
+impl Session {
+    /// Wraps an engine with an empty dataset table.
+    pub fn new(engine: Engine) -> Self {
+        Session {
+            engine,
+            data: HashMap::new(),
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Binds an existing matrix under a name.
+    pub fn bind(&mut self, name: &str, matrix: BlockedMatrix) {
+        self.data.insert(name.to_string(), Arc::new(matrix));
+    }
+
+    /// Binds a shared matrix under a name.
+    pub fn bind_shared(&mut self, name: &str, matrix: Arc<BlockedMatrix>) {
+        self.data.insert(name.to_string(), matrix);
+    }
+
+    /// Generates and binds a dense uniform matrix in `(0, 1)`.
+    pub fn gen_dense(
+        &mut self,
+        name: &str,
+        rows: usize,
+        cols: usize,
+        block_size: usize,
+        seed: u64,
+    ) -> Result<(), SessionError> {
+        let m = gen::dense_uniform(rows, cols, block_size, 0.0, 1.0, seed)
+            .map_err(|e| SessionError::Data(e.to_string()))?;
+        self.bind(name, m);
+        Ok(())
+    }
+
+    /// Generates and binds a sparse uniform matrix in `(0, 1)`.
+    pub fn gen_sparse(
+        &mut self,
+        name: &str,
+        rows: usize,
+        cols: usize,
+        block_size: usize,
+        density: f64,
+        seed: u64,
+    ) -> Result<(), SessionError> {
+        let m = gen::sparse_uniform(rows, cols, block_size, density, 0.0, 1.0, seed)
+            .map_err(|e| SessionError::Data(e.to_string()))?;
+        self.bind(name, m);
+        Ok(())
+    }
+
+    /// A bound matrix, if present.
+    pub fn matrix(&self, name: &str) -> Option<&Arc<BlockedMatrix>> {
+        self.data.get(name)
+    }
+
+    /// Metadata of every bound matrix (what scripts compile against).
+    pub fn input_metas(&self) -> HashMap<String, MatrixMeta> {
+        self.data
+            .iter()
+            .map(|(n, m)| (n.clone(), *m.meta()))
+            .collect()
+    }
+
+    /// Bindings view of the bound matrices.
+    pub fn bindings(&self) -> Bindings {
+        self.data
+            .iter()
+            .map(|(n, m)| (n.clone(), Arc::clone(m)))
+            .collect()
+    }
+
+    /// Compiles a DML-like script against the bound matrices.
+    pub fn compile_script(&self, source: &str) -> Result<QueryDag, SessionError> {
+        compile(source, &self.input_metas()).map_err(SessionError::Compile)
+    }
+
+    /// Compiles and runs a script.
+    pub fn run_script(&mut self, source: &str) -> Result<RunReport, SessionError> {
+        let dag = self.compile_script(source)?;
+        self.run_dag(&dag)
+    }
+
+    /// Runs a pre-built DAG over the bound matrices.
+    pub fn run_dag(&mut self, dag: &QueryDag) -> Result<RunReport, SessionError> {
+        let outcome = self.engine.run(dag, &self.bindings())?;
+        Ok(RunReport {
+            outputs: outcome.outputs,
+            stats: outcome.stats,
+        })
+    }
+
+    /// Runs a script and rebinds each output under the given names — the
+    /// building block for iterative algorithms (GNMF's factor updates
+    /// rebind `U` and `V` every iteration).
+    pub fn run_and_rebind(
+        &mut self,
+        source: &str,
+        rebind: &[(&str, usize)],
+    ) -> Result<RunReport, SessionError> {
+        let report = self.run_script(source)?;
+        for &(name, idx) in rebind {
+            let out = report
+                .outputs
+                .get(idx)
+                .ok_or_else(|| SessionError::Data(format!("no output #{idx} to rebind")))?;
+            self.data.insert(name.to_string(), Arc::clone(out));
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use fuseme_sim::ClusterConfig;
+
+    fn session() -> Session {
+        let mut cc = ClusterConfig::test_small();
+        cc.mem_per_task = 64 << 20;
+        Session::new(Engine::fuseme(cc))
+    }
+
+    #[test]
+    fn script_run_produces_output() {
+        let mut s = session();
+        s.gen_sparse("X", 40, 40, 8, 0.2, 1).unwrap();
+        s.gen_dense("U", 40, 8, 8, 2).unwrap();
+        s.gen_dense("V", 40, 8, 8, 3).unwrap();
+        let report = s
+            .run_script("out = X * log(U %*% t(V) + 0.00000001)")
+            .unwrap();
+        assert_eq!(report.outputs.len(), 1);
+        assert_eq!(report.outputs[0].shape().rows, 40);
+        assert!(report.stats.comm.total() > 0);
+    }
+
+    #[test]
+    fn compile_error_reported() {
+        let s = session();
+        let err = s.compile_script("out = Missing * 2").unwrap_err();
+        assert!(matches!(err, SessionError::Compile(_)));
+        assert!(err.to_string().contains("Missing"));
+    }
+
+    #[test]
+    fn run_and_rebind_supports_iteration() {
+        let mut s = session();
+        s.gen_sparse("X", 30, 30, 10, 0.3, 4).unwrap();
+        s.gen_dense("U", 30, 10, 10, 5).unwrap();
+        s.gen_dense("V", 30, 10, 10, 6).unwrap();
+        // One multiplicative GNMF-flavoured V update, twice.
+        let update = "Vn = V * (X %*% U) / (V %*% (t(U) %*% U) + 0.000001)";
+        let before = s.matrix("V").unwrap().to_dense_vec();
+        s.run_and_rebind(update, &[("V", 0)]).unwrap();
+        let mid = s.matrix("V").unwrap().to_dense_vec();
+        assert_ne!(before, mid);
+        s.run_and_rebind(update, &[("V", 0)]).unwrap();
+        let after = s.matrix("V").unwrap().to_dense_vec();
+        assert_ne!(mid, after);
+    }
+
+    #[test]
+    fn results_match_reference_interpreter() {
+        let mut s = session();
+        s.gen_dense("A", 24, 16, 8, 7).unwrap();
+        s.gen_dense("B", 16, 24, 8, 8).unwrap();
+        let report = s.run_script("out = (A %*% B) ^ 2").unwrap();
+        let dag = s.compile_script("out = (A %*% B) ^ 2").unwrap();
+        let reference = fuseme_plan::evaluate(&dag, &s.bindings()).unwrap();
+        assert!(report.outputs[0].approx_eq(reference[0].as_matrix().unwrap(), 1e-9));
+    }
+}

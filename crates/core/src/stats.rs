@@ -1,0 +1,168 @@
+//! Serializable run summaries for the experiment harness.
+
+use fuseme_exec::driver::EngineStats;
+use fuseme_sim::SimError;
+use serde::{Deserialize, Serialize};
+
+/// How a run ended — mirrors the paper's result classes: a number, an
+/// out-of-memory bar ("O.O.M.") or a timeout bar ("T.O.").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunStatus {
+    /// Completed and produced outputs.
+    Completed,
+    /// A task exceeded the per-task memory budget θ_t.
+    OutOfMemory,
+    /// Simulated time exceeded the cap.
+    Timeout,
+    /// Any other failure (kernel error, missing binding).
+    Failed,
+}
+
+impl RunStatus {
+    /// Classifies a simulator error.
+    pub fn from_error(e: &SimError) -> RunStatus {
+        match e {
+            SimError::OutOfMemory { .. } => RunStatus::OutOfMemory,
+            SimError::Timeout { .. } => RunStatus::Timeout,
+            SimError::Task(_) => RunStatus::Failed,
+        }
+    }
+
+    /// Short label used in harness tables ("O.O.M." / "T.O.").
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunStatus::Completed => "ok",
+            RunStatus::OutOfMemory => "O.O.M.",
+            RunStatus::Timeout => "T.O.",
+            RunStatus::Failed => "failed",
+        }
+    }
+}
+
+/// A flattened, serializable record of one measured run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Engine that produced the run ("FuseME", "SystemDS", …).
+    pub engine: String,
+    /// Outcome class.
+    pub status: RunStatus,
+    /// Simulated elapsed seconds (comparable to the paper's elapsed times).
+    pub sim_secs: f64,
+    /// Real wall-clock seconds of the harness run.
+    pub wall_secs: f64,
+    /// Bytes moved in consolidation steps.
+    pub consolidation_bytes: u64,
+    /// Bytes moved in aggregation steps.
+    pub aggregation_bytes: u64,
+    /// Fused units executed.
+    pub fused_units: usize,
+    /// Single-operator units executed.
+    pub single_units: usize,
+    /// `(P,Q,R)` choices as `(root, p, q, r)` tuples.
+    pub pqr: Vec<(usize, usize, usize, usize)>,
+}
+
+impl RunSummary {
+    /// Builds a summary from a successful run's statistics.
+    pub fn completed(engine: &str, stats: &EngineStats) -> RunSummary {
+        RunSummary {
+            engine: engine.to_string(),
+            status: RunStatus::Completed,
+            sim_secs: stats.sim_secs,
+            wall_secs: stats.wall_secs,
+            consolidation_bytes: stats.comm.consolidation_bytes,
+            aggregation_bytes: stats.comm.aggregation_bytes,
+            fused_units: stats.fused_units,
+            single_units: stats.single_units,
+            pqr: stats
+                .pqr_choices
+                .iter()
+                .map(|(root, pqr)| (*root, pqr.p, pqr.q, pqr.r))
+                .collect(),
+        }
+    }
+
+    /// Builds a summary for a failed run.
+    pub fn failed(engine: &str, error: &SimError) -> RunSummary {
+        RunSummary {
+            engine: engine.to_string(),
+            status: RunStatus::from_error(error),
+            sim_secs: f64::NAN,
+            wall_secs: f64::NAN,
+            consolidation_bytes: 0,
+            aggregation_bytes: 0,
+            fused_units: 0,
+            single_units: 0,
+            pqr: Vec::new(),
+        }
+    }
+
+    /// Total communication in bytes.
+    pub fn comm_total(&self) -> u64 {
+        self.consolidation_bytes + self.aggregation_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_classification() {
+        assert_eq!(
+            RunStatus::from_error(&SimError::OutOfMemory {
+                task: 0,
+                needed: 10,
+                budget: 5
+            }),
+            RunStatus::OutOfMemory
+        );
+        assert_eq!(
+            RunStatus::from_error(&SimError::Timeout {
+                elapsed: 10.0,
+                cap: 1.0
+            }),
+            RunStatus::Timeout
+        );
+        assert_eq!(
+            RunStatus::from_error(&SimError::Task("x".into())),
+            RunStatus::Failed
+        );
+        assert_eq!(RunStatus::OutOfMemory.label(), "O.O.M.");
+        assert_eq!(RunStatus::Timeout.label(), "T.O.");
+    }
+
+    #[test]
+    fn failed_summary_has_nan_times() {
+        let s = RunSummary::failed(
+            "SystemDS",
+            &SimError::OutOfMemory {
+                task: 1,
+                needed: 2,
+                budget: 1,
+            },
+        );
+        assert!(s.sim_secs.is_nan());
+        assert_eq!(s.status, RunStatus::OutOfMemory);
+        assert_eq!(s.comm_total(), 0);
+    }
+
+    #[test]
+    fn summary_roundtrips_through_json() {
+        let s = RunSummary {
+            engine: "FuseME".into(),
+            status: RunStatus::Completed,
+            sim_secs: 1.5,
+            wall_secs: 0.1,
+            consolidation_bytes: 100,
+            aggregation_bytes: 50,
+            fused_units: 2,
+            single_units: 1,
+            pqr: vec![(8, 2, 3, 1)],
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: RunSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.comm_total(), 150);
+        assert_eq!(back.pqr, vec![(8, 2, 3, 1)]);
+    }
+}

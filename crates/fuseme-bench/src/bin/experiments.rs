@@ -1,0 +1,126 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§6) at a configurable scale.
+//!
+//! ```text
+//! experiments [all|table1|table3|fig12|fig13|fig14|fig15]
+//!             [--scale S]    element-dimension divisor (divides 1000; default 250)
+//!             [--iters N]    GNMF iterations for fig14 (default 10)
+//!             [--out DIR]    JSON output directory (default results/)
+//! ```
+
+use std::path::PathBuf;
+
+use fuseme_bench::experiments::{ablation, fig12, fig13, fig14, fig15, table1, table3};
+use fuseme_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut scale = Scale::default_scale();
+    let mut iters = 10usize;
+    let mut out = PathBuf::from("results");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let v: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+                scale = Scale::new(v).unwrap_or_else(|e| die(&e));
+            }
+            "--iters" => {
+                i += 1;
+                iters = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--iters needs a number"));
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [all|table1|table3|fig12|fig13|fig14|fig15|ablation]... \
+                     [--scale S] [--iters N] [--out DIR]"
+                );
+                return;
+            }
+            other if !other.starts_with('-') => which.push(other.to_string()),
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+
+    println!(
+        "FuseME experiment harness — scale 1/{} (block edge {}), cluster 8×12 tasks, \
+         θ_t = {:.2} MB, results → {}",
+        scale.divisor,
+        scale.block_size(),
+        scale.paper_cluster().mem_per_task as f64 / 1e6,
+        out.display()
+    );
+
+    for name in which {
+        let started = std::time::Instant::now();
+        match name.as_str() {
+            "all" => {
+                table1::run(scale, &out);
+                table3::run(scale, &out);
+                fig12::run(scale, &out, fig12::Part::All);
+                fig13::run(scale, &out, fig13::Part::All);
+                fig14::run(scale, &out, iters);
+                fig15::run(scale, &out);
+                ablation::run(scale, &out);
+            }
+            "table1" => {
+                table1::run(scale, &out);
+            }
+            "table3" => {
+                table3::run(scale, &out);
+            }
+            "fig12" => {
+                fig12::run(scale, &out, fig12::Part::All);
+            }
+            "fig12a" => {
+                fig12::run(scale, &out, fig12::Part::TwoLargeDims);
+            }
+            "fig12b" => {
+                fig12::run(scale, &out, fig12::Part::CommonDim);
+            }
+            "fig12c" => {
+                fig12::run(scale, &out, fig12::Part::Density);
+            }
+            "fig12d" => {
+                fig12::run(scale, &out, fig12::Part::Nodes);
+            }
+            "fig13" => {
+                fig13::run(scale, &out, fig13::Part::All);
+            }
+            "fig13d" => {
+                fig13::run(scale, &out, fig13::Part::Pruning);
+            }
+            "fig14" => {
+                fig14::run(scale, &out, iters);
+            }
+            "fig15" => {
+                fig15::run(scale, &out);
+            }
+            "ablation" => {
+                ablation::run(scale, &out);
+            }
+            other => die(&format!("unknown experiment '{other}'")),
+        }
+        eprintln!("[{name} done in {:.1}s wall]", started.elapsed().as_secs_f64());
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

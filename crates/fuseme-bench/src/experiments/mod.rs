@@ -1,0 +1,13 @@
+//! One module per table/figure of the paper's evaluation (§6).
+//!
+//! Every module exposes `run(scale, out_dir) -> Vec<Measurement>`: it prints
+//! the regenerated table(s) to stdout and persists the raw measurements as
+//! JSON so EXPERIMENTS.md can cite them.
+
+pub mod ablation;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod table1;
+pub mod table3;

@@ -1,0 +1,1148 @@
+//! Distributed fused operators: CFO (cuboid), BFO (broadcast), RFO
+//! (replication), and the degenerate Cell operator for plans without
+//! matrix multiplication.
+//!
+//! All four share the same skeleton (paper §2.2):
+//!
+//! 1. **Matrix consolidation** — decide which task computes which output
+//!    blocks, route the input blocks each task needs into its
+//!    [`LocalStore`], and charge the ledger for every routed byte. The
+//!    strategies differ only here: CFO routes cuboid slices (side matrices
+//!    replicated `Q`/`P`/`R` times), BFO routes the main matrix by need and
+//!    *broadcasts* every side matrix whole, RFO routes everything by need at
+//!    output-block granularity (sides replicated up to `I`/`J` times).
+//! 2. **Local operation** — each task runs the fused kernel for its output
+//!    blocks (no intermediate matrices).
+//! 3. **Matrix aggregation** — with cuboid `R > 1` the main
+//!    multiplication's partial results are combined per `(p,q)` group and
+//!    the `O`-space operators run in a second stage; aggregation-rooted
+//!    plans additionally combine per-task aggregation partials.
+
+use std::collections::{BTreeSet, HashMap};
+use std::ops::Range;
+use std::sync::Arc;
+
+use fuseme_fusion::cost::{estimate, num_ops, CostModel};
+use fuseme_fusion::optimizer::Pqr;
+use fuseme_fusion::plan::{mm_dims, PartialPlan};
+use fuseme_fusion::space::SpaceTree;
+use fuseme_matrix::{AggOp, BinOp, Block, BlockedMatrix, DenseBlock};
+use fuseme_plan::{NodeId, OpKind, QueryDag};
+use fuseme_sim::executor::run_stage;
+use fuseme_sim::{Cluster, Phase, SimError, TaskWork};
+
+use crate::kernel::{KernelCtx, LocalStore};
+
+/// Materialized values available to an operator: input leaves plus outputs
+/// of earlier execution units.
+pub type ValueMap = HashMap<NodeId, Arc<BlockedMatrix>>;
+
+/// Physical strategy for a fused operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strategy {
+    /// The paper's CFO with explicit `(P,Q,R)`. DistME's CuboidMM is this
+    /// strategy on a single-multiplication plan.
+    Cuboid {
+        /// Cuboid partitioning parameters.
+        pqr: Pqr,
+    },
+    /// BFO: side matrices broadcast to every task. `partition_bytes` sets
+    /// how much main-matrix data one Spark-style partition holds, which
+    /// bounds the operator's parallelism (sparse mains under-utilize the
+    /// cluster exactly as in the paper's Fig. 12(a)).
+    Broadcast {
+        /// Bytes of main-matrix data per task partition.
+        partition_bytes: u64,
+    },
+    /// RFO: every input routed at output-block granularity; side-matrix
+    /// blocks are replicated up to `I`/`J` times.
+    Replication,
+}
+
+/// Shape of an aggregation root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AggShape {
+    Full,
+    Row,
+    Col,
+}
+
+/// What a task hands back: output blocks (final, or aggregation partials
+/// when the plan is rooted at an aggregation) or partial main-multiplication
+/// blocks (stage 1 of two-stage cuboid execution).
+enum TaskOut {
+    Blocks(Vec<((usize, usize), Arc<Block>)>),
+    MmPartial(Vec<((usize, usize), Arc<Block>)>),
+}
+
+/// Task layout produced by a strategy.
+struct Layout {
+    tasks: Vec<TaskSlice>,
+    /// k-axis partitions (R); `> 1` means two-stage execution.
+    r: usize,
+    /// Whether output coordinates are transposed relative to the main
+    /// multiplication's `(i, j)` grid.
+    parity: bool,
+}
+
+#[derive(Debug, Clone)]
+struct TaskSlice {
+    id: usize,
+    out_blocks: Vec<(usize, usize)>,
+    k_range: Range<usize>,
+    /// `(p,q)` group for two-stage aggregation; equals `id` single-stage.
+    group: usize,
+    /// The group member that runs the stage-2 reduction.
+    is_reducer: bool,
+}
+
+/// Executes one fused plan on the cluster and returns its materialized
+/// output.
+pub fn execute_fused(
+    cluster: &Cluster,
+    dag: &QueryDag,
+    plan: &PartialPlan,
+    values: &ValueMap,
+    strategy: &Strategy,
+    model: &CostModel,
+) -> Result<Arc<BlockedMatrix>, SimError> {
+    let root = dag.node(plan.root);
+    let (agg_kind, compute_node) = match &root.kind {
+        OpKind::FullAgg(op) => (Some((*op, AggShape::Full)), root.inputs[0]),
+        OpKind::RowAgg(op) => (Some((*op, AggShape::Row)), root.inputs[0]),
+        OpKind::ColAgg(op) => (Some((*op, AggShape::Col)), root.inputs[0]),
+        _ => (None, plan.root),
+    };
+    let grid = dag.node(compute_node).meta.grid();
+    let main_mm = plan.main_matmul(dag);
+
+    // ----- carve the computation into tasks ---------------------------------
+    let layout = match (strategy, main_mm) {
+        (Strategy::Cuboid { pqr }, Some(mm)) => {
+            cuboid_layout(dag, plan, mm, *pqr, compute_node)?
+        }
+        _ => {
+            let cfg = cluster.config();
+            let slots = cfg.total_tasks();
+            let nblocks = (grid.num_blocks() as usize).max(1);
+            let ntasks = match strategy {
+                Strategy::Broadcast { partition_bytes } => {
+                    // BFO's parallelism is bounded by the main matrix's
+                    // partition count (paper §6.2: a sparse main under-
+                    // utilizes the cluster); more partitions than slots
+                    // simply wave-schedule.
+                    let main_bytes = main_input(dag, plan, values)
+                        .and_then(|id| values.get(&id))
+                        .map(|m| m.actual_size_bytes())
+                        .unwrap_or(1);
+                    (main_bytes.div_ceil((*partition_bytes).max(1)) as usize)
+                        .clamp(1, nblocks)
+                }
+                _ => {
+                    // Striped operators spawn at least one task per input
+                    // partition so per-task memory is bounded by partition
+                    // size, as Spark's execution model guarantees.
+                    let input_bytes: u64 = plan
+                        .external_inputs(dag)
+                        .iter()
+                        .filter_map(|id| values.get(id))
+                        .map(|m| m.actual_size_bytes())
+                        .sum();
+                    let by_partition =
+                        input_bytes.div_ceil(cfg.partition_bytes.max(1)) as usize;
+                    slots.min(nblocks).max(by_partition).min(nblocks)
+                }
+            };
+            striped_layout(
+                grid.block_rows,
+                grid.block_cols,
+                ntasks,
+                full_k(dag, main_mm),
+            )
+        }
+    };
+    let parity = layout.parity;
+    let two_stage = layout.r > 1;
+
+    // ----- analytic pre-checks ----------------------------------------------
+    // Routing below physically materializes per-task block stores, which for
+    // hopeless configurations (the paper's O.O.M. and 12-hour T.O. bars) can
+    // itself be enormous. The analytic estimates mirror what admission
+    // control and the clock would conclude, so fail fast — exactly the
+    // compile-time memory estimation SystemDS applies before picking BFO.
+    let tree = SpaceTree::build(dag, plan);
+    let eq = equivalent_pqr(dag, plan, strategy, &layout);
+    let est = estimate(dag, plan, &tree, eq.p, eq.q, eq.r);
+    {
+        let cfg = cluster.config();
+        if est.mem_bytes > cfg.mem_per_task.saturating_mul(4) {
+            return Err(SimError::OutOfMemory {
+                task: 0,
+                needed: est.mem_bytes,
+                budget: cfg.mem_per_task,
+            });
+        }
+        let projected = cluster.elapsed_secs()
+            + est.net_bytes as f64 / (cfg.nodes as f64 * cfg.net_bandwidth)
+            + est.com_flops as f64 / (cfg.nodes as f64 * cfg.compute_bandwidth);
+        if projected > cfg.timeout_secs {
+            return Err(SimError::Timeout {
+                elapsed: projected,
+                cap: cfg.timeout_secs,
+            });
+        }
+    }
+
+    // ----- consolidation: route blocks, build stores ------------------------
+    let broadcast_sides: BTreeSet<NodeId> = match strategy {
+        Strategy::Broadcast { .. } => {
+            let main = main_input(dag, plan, values);
+            plan.external_inputs(dag)
+                .into_iter()
+                .filter(|id| {
+                    Some(*id) != main && !matches!(dag.node(*id).kind, OpKind::Scalar(_))
+                })
+                .collect()
+        }
+        _ => BTreeSet::new(),
+    };
+
+    let empty = LocalStore::new();
+    let mut stores: Vec<LocalStore> = Vec::with_capacity(layout.tasks.len());
+    for task in &layout.tasks {
+        let probe = KernelCtx::new(dag, &plan.ops, main_mm, task.k_range.clone(), &empty);
+        let mut needed: BTreeSet<(NodeId, (usize, usize))> = BTreeSet::new();
+        let mut visited = std::collections::HashSet::new();
+        for &(bi, bj) in &task.out_blocks {
+            probe.needs_shared(compute_node, bi, bj, &mut needed, &mut visited);
+        }
+        let mut store = LocalStore::new();
+        for (node, coord) in needed {
+            if broadcast_sides.contains(&node) {
+                continue; // routed whole below
+            }
+            if let Some(m) = values.get(&node) {
+                let g = m.meta().grid();
+                if coord.0 < g.block_rows && coord.1 < g.block_cols {
+                    if let Some(b) = m.block(coord.0, coord.1) {
+                        store.insert(node, coord, Arc::clone(b));
+                    }
+                }
+            }
+        }
+        for &side in &broadcast_sides {
+            if let Some(m) = values.get(&side) {
+                for (bi, bj, b) in m.iter_blocks() {
+                    store.insert(side, (bi, bj), Arc::clone(b));
+                }
+            }
+        }
+        stores.push(store);
+    }
+
+    // ----- resource estimates ------------------------------------------------
+    let ntasks = layout.tasks.len().max(1) as u64;
+    let flops_per_task = est.com_flops / ntasks;
+    let out_share = dag.node(plan.root).meta.size_bytes() / ntasks;
+    let groups = layout.tasks.iter().filter(|t| t.is_reducer).count().max(1) as u64;
+    // Stage-1 partials only materialize for output blocks the sparsity gate
+    // lets through (the fused kernel skips the rest), so the per-task
+    // partial footprint shrinks by the density ratio.
+    let gate = main_mm
+        .map(|mm| {
+            let mm_density = dag.node(mm).meta.density.max(f64::MIN_POSITIVE);
+            (dag.node(compute_node).meta.density / mm_density).clamp(0.0, 1.0)
+        })
+        .unwrap_or(1.0);
+    let partial_share = main_mm
+        .map(|mm| (dag.node(mm).meta.size_bytes() as f64 * gate) as u64 / groups)
+        .unwrap_or(0);
+    let _ = model;
+
+    // ----- stage 1 -------------------------------------------------------------
+    let mut work: Vec<TaskWork<'_, TaskOut>> = Vec::new();
+    for (task, store) in layout.tasks.iter().zip(stores.iter()) {
+        let recv = store.total_bytes();
+        // Stage-1 tasks of a two-stage run hold their partials but never
+        // the final output; single-stage tasks hold their output share.
+        let mem = if two_stage {
+            recv + partial_share
+        } else {
+            recv + out_share
+        };
+        let ops = &plan.ops;
+        let out_blocks = task.out_blocks.clone();
+        let k_range = task.k_range.clone();
+        work.push(TaskWork {
+            task_id: task.id,
+            recv_bytes: recv,
+            mem_bytes: mem,
+            flops: flops_per_task,
+            job: Box::new(move || {
+                let mut ctx = KernelCtx::new(dag, ops, main_mm, k_range, store);
+                if two_stage {
+                    let mm = main_mm.expect("two-stage requires a matmul");
+                    // Only output blocks the plan's sparsity gate lets
+                    // through need multiplication partials — skipping the
+                    // rest is what keeps the never-materialized
+                    // intermediate from existing (paper Fig. 1(a)'s dotted
+                    // cells).
+                    let mut wanted: Vec<(usize, usize)> = out_blocks
+                        .iter()
+                        .filter(|&&(bi, bj)| ctx.has_support(compute_node, bi, bj))
+                        .map(|&(bi, bj)| if parity { (bj, bi) } else { (bi, bj) })
+                        .collect();
+                    wanted.sort_unstable();
+                    wanted.dedup();
+                    let mut out = Vec::new();
+                    for (bi, bj) in wanted {
+                        if ctx.has_support(mm, bi, bj) {
+                            out.push(((bi, bj), ctx.eval(mm, bi, bj)?));
+                        }
+                    }
+                    Ok(TaskOut::MmPartial(out))
+                } else {
+                    run_full_kernels(&mut ctx, dag, plan, compute_node, &out_blocks, agg_kind)
+                }
+            }),
+        });
+    }
+    let stage1 = run_stage(cluster, Phase::Consolidation, work)?;
+
+    // ----- stage 2 (cuboid aggregation across the k-axis) ----------------------
+    let outputs: Vec<TaskOut> = if two_stage {
+        let mut grouped: HashMap<usize, HashMap<(usize, usize), Arc<Block>>> = HashMap::new();
+        let mut agg_bytes: HashMap<usize, u64> = HashMap::new();
+        for (task, out) in layout.tasks.iter().zip(stage1.outputs) {
+            let TaskOut::MmPartial(parts) = out else {
+                return Err(SimError::Task("stage-1 output kind mismatch".into()));
+            };
+            let slot = grouped.entry(task.group).or_default();
+            for (coord, block) in parts {
+                if !task.is_reducer {
+                    *agg_bytes.entry(task.group).or_default() += block.size_bytes();
+                }
+                merge_partial(slot, coord, block)?;
+            }
+        }
+        let grouped = &grouped;
+        let mut reducers: Vec<TaskWork<'_, TaskOut>> = Vec::new();
+        for task in layout.tasks.iter().filter(|t| t.is_reducer) {
+            let store = &stores[task.id];
+            let recv = agg_bytes.get(&task.group).copied().unwrap_or(0);
+            let out_blocks = task.out_blocks.clone();
+            let ops = &plan.ops;
+            let group = task.group;
+            // For a multiplication-rooted plan the output *is* the
+            // aggregated partial — counting both would double-charge.
+            let out_extra = if compute_node == main_mm.unwrap_or(usize::MAX) {
+                0
+            } else {
+                out_share
+            };
+            // Incoming partials merge block-by-block (streaming), so they
+            // add one block of scratch, not a full replica.
+            reducers.push(TaskWork {
+                task_id: group,
+                recv_bytes: recv,
+                mem_bytes: store.total_bytes() + partial_share + out_extra,
+                flops: flops_per_task,
+                job: Box::new(move || {
+                    let mm_vals = grouped.get(&group);
+                    let base = KernelCtx::new(dag, ops, main_mm, 0..0, store);
+                    let mut ctx = match mm_vals {
+                        Some(vals) => base.with_mm_override(vals),
+                        None => base,
+                    };
+                    run_full_kernels(&mut ctx, dag, plan, compute_node, &out_blocks, agg_kind)
+                }),
+            });
+        }
+        run_stage(cluster, Phase::Aggregation, reducers)?.outputs
+    } else {
+        stage1.outputs
+    };
+
+    // ----- assemble the result -------------------------------------------------
+    assemble(cluster, dag, plan, agg_kind, outputs)
+}
+
+/// `true` when a plan's structure allows splitting the k-axis (`R > 1`).
+/// Delegates to [`fuseme_fusion::plan::k_splittable`], the same predicate
+/// the CFG exploitation phase costs plans with.
+pub fn supports_k_split(dag: &QueryDag, plan: &PartialPlan) -> bool {
+    fuseme_fusion::plan::k_splittable(dag, plan)
+}
+
+/// Splits `n` block indices into `parts` contiguous chunks (ceil-sized; the
+/// tail chunks may be empty).
+fn chunks(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    let size = n.div_ceil(parts).max(1);
+    (0..parts)
+        .map(|t| {
+            let lo = (t * size).min(n);
+            let hi = ((t + 1) * size).min(n);
+            lo..hi
+        })
+        .collect()
+}
+
+fn full_k(dag: &QueryDag, main_mm: Option<NodeId>) -> Range<usize> {
+    match main_mm {
+        Some(mm) => 0..mm_dims(dag, mm).2,
+        None => 0..0,
+    }
+}
+
+/// Cuboid layout: `P·Q·R` tasks tiled over the main multiplication's grid.
+fn cuboid_layout(
+    dag: &QueryDag,
+    plan: &PartialPlan,
+    mm: NodeId,
+    pqr: Pqr,
+    compute_node: NodeId,
+) -> Result<Layout, SimError> {
+    let (i, j, k) = mm_dims(dag, mm);
+    let grid = dag.node(compute_node).meta.grid();
+    // Structures where the main multiplication feeds another multiplication
+    // cannot split the k-axis, and their output grid is unrelated to the
+    // main multiplication's (i, j) — tile the output grid directly instead.
+    let (parity, r_parts, p_chunks, q_chunks) =
+        match coordinate_parity(dag, plan, mm, compute_node) {
+            Ok(parity) => {
+                let (rows, cols) = if parity { (j, i) } else { (i, j) };
+                debug_assert_eq!((rows, cols), (grid.block_rows, grid.block_cols));
+                (parity, pqr.r, chunks(i, pqr.p), chunks(j, pqr.q))
+            }
+            Err(_) => (
+                false,
+                1,
+                chunks(grid.block_rows, pqr.p),
+                chunks(grid.block_cols, pqr.q),
+            ),
+        };
+    let k_chunks = chunks(k, r_parts);
+
+    // Assign compute blocks to (p,q) tiles via their mm coordinates.
+    let mut tile_blocks: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
+    for bi in 0..grid.block_rows {
+        for bj in 0..grid.block_cols {
+            let (mi, mj) = if parity { (bj, bi) } else { (bi, bj) };
+            let p = p_chunks.iter().position(|c| c.contains(&mi));
+            let q = q_chunks.iter().position(|c| c.contains(&mj));
+            if let (Some(p), Some(q)) = (p, q) {
+                tile_blocks.entry((p, q)).or_default().push((bi, bj));
+            }
+        }
+    }
+
+    let mut tasks = Vec::new();
+    for p in 0..pqr.p {
+        for q in 0..pqr.q {
+            let out_blocks = tile_blocks.remove(&(p, q)).unwrap_or_default();
+            for (r, kr) in k_chunks.iter().enumerate() {
+                tasks.push(TaskSlice {
+                    id: tasks.len(),
+                    out_blocks: out_blocks.clone(),
+                    k_range: kr.clone(),
+                    group: p * pqr.q + q,
+                    is_reducer: r == 0,
+                });
+            }
+        }
+    }
+    Ok(Layout {
+        tasks,
+        r: r_parts,
+        parity,
+    })
+}
+
+/// Single-stage layout: stripe the compute grid's blocks over `ntasks`.
+fn striped_layout(rows: usize, cols: usize, ntasks: usize, k: Range<usize>) -> Layout {
+    let ntasks = ntasks.max(1);
+    let mut tasks: Vec<TaskSlice> = (0..ntasks)
+        .map(|id| TaskSlice {
+            id,
+            out_blocks: Vec::new(),
+            k_range: k.clone(),
+            group: id,
+            is_reducer: true,
+        })
+        .collect();
+    for bi in 0..rows {
+        for bj in 0..cols {
+            tasks[(bi * cols + bj) % ntasks].out_blocks.push((bi, bj));
+        }
+    }
+    Layout {
+        tasks,
+        r: 1,
+        parity: false,
+    }
+}
+
+/// Walks from the main multiplication up to the compute root, tracking
+/// whether coordinates flip (transpose parity). Errors if another
+/// multiplication consumes the main one inside the plan — that structure
+/// cannot split the k-axis.
+fn coordinate_parity(
+    dag: &QueryDag,
+    plan: &PartialPlan,
+    mm: NodeId,
+    compute_node: NodeId,
+) -> Result<bool, SimError> {
+    let mut current = mm;
+    let mut parity = false;
+    while current != compute_node {
+        let Some(c) = dag
+            .consumers(current)
+            .iter()
+            .copied()
+            .find(|c| plan.ops.contains(c))
+        else {
+            break;
+        };
+        match dag.node(c).kind {
+            OpKind::Transpose => parity = !parity,
+            OpKind::MatMul => {
+                return Err(SimError::Task(
+                    "main multiplication feeds another multiplication; k-split unsupported"
+                        .into(),
+                ))
+            }
+            _ => {}
+        }
+        current = c;
+    }
+    Ok(parity)
+}
+
+/// The plan input with the largest materialized footprint — BFO's "main"
+/// matrix, which is repartitioned rather than broadcast.
+fn main_input(dag: &QueryDag, plan: &PartialPlan, values: &ValueMap) -> Option<NodeId> {
+    plan.external_inputs(dag)
+        .into_iter()
+        .filter(|id| !matches!(dag.node(*id).kind, OpKind::Scalar(_)))
+        .max_by_key(|id| {
+            values
+                .get(id)
+                .map(|m| m.actual_size_bytes())
+                .unwrap_or_else(|| dag.node(*id).meta.size_bytes())
+        })
+}
+
+/// The `(P,Q,R)` a strategy is equivalent to in the paper's cost model
+/// (Table 1 / Fig. 9): BFO ≈ `(T',T',1)`, RFO ≈ `(I,J,1)`.
+fn equivalent_pqr(
+    dag: &QueryDag,
+    plan: &PartialPlan,
+    strategy: &Strategy,
+    layout: &Layout,
+) -> Pqr {
+    let one = Pqr { p: 1, q: 1, r: 1 };
+    match strategy {
+        Strategy::Cuboid { pqr } => *pqr,
+        Strategy::Broadcast { .. } => match plan.main_matmul(dag) {
+            Some(mm) => {
+                let t = layout.tasks.len().max(1);
+                let (i, j, _) = mm_dims(dag, mm);
+                Pqr {
+                    p: t.min(i),
+                    q: t.min(j),
+                    r: 1,
+                }
+            }
+            None => one,
+        },
+        Strategy::Replication => match plan.main_matmul(dag) {
+            Some(mm) => {
+                let (i, j, _) = mm_dims(dag, mm);
+                Pqr { p: i, q: j, r: 1 }
+            }
+            None => one,
+        },
+    }
+}
+
+/// Runs full kernels for a task's output blocks; folds aggregation roots
+/// into partial aggregation blocks.
+fn run_full_kernels(
+    ctx: &mut KernelCtx<'_>,
+    dag: &QueryDag,
+    plan: &PartialPlan,
+    compute_node: NodeId,
+    out_blocks: &[(usize, usize)],
+    agg: Option<(AggOp, AggShape)>,
+) -> Result<TaskOut, SimError> {
+    match agg {
+        None => {
+            let mut out = Vec::new();
+            for &(bi, bj) in out_blocks {
+                if ctx.has_support(compute_node, bi, bj) {
+                    let b = ctx.eval(compute_node, bi, bj)?;
+                    if b.nnz() > 0 {
+                        out.push(((bi, bj), b));
+                    }
+                }
+            }
+            Ok(TaskOut::Blocks(out))
+        }
+        Some((op, shape)) => {
+            let meta = dag.node(compute_node).meta;
+            let root_meta = dag.node(plan.root).meta;
+            let mut partials: HashMap<(usize, usize), DenseBlock> = HashMap::new();
+            for &(bi, bj) in out_blocks {
+                let value = if ctx.has_support(compute_node, bi, bj) {
+                    ctx.eval(compute_node, bi, bj)?
+                } else {
+                    let (r, c) = meta.block_dims(bi, bj);
+                    Arc::new(Block::zero(r, c))
+                };
+                match shape {
+                    AggShape::Full => {
+                        let v = value.agg(op);
+                        let slot = partials
+                            .entry((0, 0))
+                            .or_insert_with(|| DenseBlock::filled(1, 1, op.identity()));
+                        let cur = slot.get(0, 0);
+                        slot.set(0, 0, op.combine(cur, v));
+                    }
+                    AggShape::Row => {
+                        let part = value.row_agg(op);
+                        let slot = partials.entry((bi, 0)).or_insert_with(|| {
+                            let (r, _) = root_meta.block_dims(bi, 0);
+                            DenseBlock::filled(r, 1, op.identity())
+                        });
+                        combine_into(slot, &part, op);
+                    }
+                    AggShape::Col => {
+                        let part = value.col_agg(op);
+                        let slot = partials.entry((0, bj)).or_insert_with(|| {
+                            let (_, c) = root_meta.block_dims(0, bj);
+                            DenseBlock::filled(1, c, op.identity())
+                        });
+                        combine_into(slot, &part, op);
+                    }
+                }
+            }
+            Ok(TaskOut::Blocks(
+                partials
+                    .into_iter()
+                    .map(|(coord, b)| (coord, Arc::new(Block::Dense(b))))
+                    .collect(),
+            ))
+        }
+    }
+}
+
+fn combine_into(acc: &mut DenseBlock, part: &DenseBlock, op: AggOp) {
+    debug_assert_eq!(acc.rows(), part.rows());
+    debug_assert_eq!(acc.cols(), part.cols());
+    for (a, &p) in acc.data_mut().iter_mut().zip(part.data()) {
+        *a = op.combine(*a, p);
+    }
+}
+
+/// Sums a partial multiplication block into the group accumulator.
+fn merge_partial(
+    slot: &mut HashMap<(usize, usize), Arc<Block>>,
+    coord: (usize, usize),
+    block: Arc<Block>,
+) -> Result<(), SimError> {
+    match slot.remove(&coord) {
+        None => {
+            slot.insert(coord, block);
+        }
+        Some(existing) => {
+            let sum = existing.zip(&block, BinOp::Add)?;
+            slot.insert(coord, Arc::new(sum));
+        }
+    }
+    Ok(())
+}
+
+/// Collects task outputs into the plan root's matrix. Aggregation partials
+/// from different tasks combine with the aggregation operator; every
+/// partial except the combiner-local first contribution per slot is charged
+/// to the aggregation phase.
+fn assemble(
+    cluster: &Cluster,
+    dag: &QueryDag,
+    plan: &PartialPlan,
+    agg_kind: Option<(AggOp, AggShape)>,
+    outputs: Vec<TaskOut>,
+) -> Result<Arc<BlockedMatrix>, SimError> {
+    let root_meta = dag.node(plan.root).meta;
+    let mut result =
+        BlockedMatrix::zeros(root_meta).map_err(|e| SimError::Task(e.to_string()))?;
+    let mut agg_slots: HashMap<(usize, usize), Arc<Block>> = HashMap::new();
+    let mut shuffled = 0u64;
+    for out in outputs {
+        let TaskOut::Blocks(blocks) = out else {
+            return Err(SimError::Task("unexpected partial output at assembly".into()));
+        };
+        for ((bi, bj), block) in blocks {
+            match agg_kind {
+                None => {
+                    result
+                        .set_block(bi, bj, (*block).clone())
+                        .map_err(|e| SimError::Task(e.to_string()))?;
+                }
+                Some((op, _)) => match agg_slots.remove(&(bi, bj)) {
+                    None => {
+                        agg_slots.insert((bi, bj), block);
+                    }
+                    Some(existing) => {
+                        shuffled += block.size_bytes();
+                        let combined = existing.zip(&block, agg_binop(op))?;
+                        agg_slots.insert((bi, bj), Arc::new(combined));
+                    }
+                },
+            }
+        }
+    }
+    if agg_kind.is_some() {
+        cluster.ledger().charge(Phase::Aggregation, shuffled);
+        for ((bi, bj), block) in agg_slots {
+            result
+                .set_block(bi, bj, (*block).clone())
+                .map_err(|e| SimError::Task(e.to_string()))?;
+        }
+    }
+    result.refresh_density();
+    Ok(Arc::new(result))
+}
+
+/// Aggregation combine expressed as an element-wise operator (partials
+/// combine pointwise).
+fn agg_binop(op: AggOp) -> BinOp {
+    match op {
+        AggOp::Sum => BinOp::Add,
+        AggOp::Min => BinOp::Min,
+        AggOp::Max => BinOp::Max,
+    }
+}
+
+/// Analytic flops of the plan's operators, unreplicated (test helper).
+pub fn plain_flops(dag: &QueryDag, plan: &PartialPlan) -> u64 {
+    plan.ops.iter().map(|&op| num_ops(dag, op)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuseme_matrix::{gen, MatrixMeta, UnaryOp};
+    use fuseme_plan::{evaluate, Bindings, DagBuilder};
+    use fuseme_sim::ClusterConfig;
+
+    fn cost_model(cluster: &Cluster) -> CostModel {
+        let c = cluster.config();
+        CostModel {
+            nodes: c.nodes,
+            tasks_per_node: c.tasks_per_node,
+            mem_per_task: c.mem_per_task,
+            net_bandwidth: c.net_bandwidth,
+            compute_bandwidth: c.compute_bandwidth,
+        }
+    }
+
+    /// Builds the NMF query with concrete data; returns everything needed to
+    /// execute and verify.
+    struct Fixture {
+        dag: QueryDag,
+        plan: PartialPlan,
+        values: ValueMap,
+        expected: BlockedMatrix,
+    }
+
+    fn nmf_fixture(seed: u64) -> Fixture {
+        let bs = 5;
+        let x = gen::sparse_uniform(30, 30, bs, 0.25, 1.0, 2.0, seed).unwrap();
+        let u = gen::dense_uniform(30, 15, bs, 0.1, 1.0, seed + 1).unwrap();
+        let v = gen::dense_uniform(30, 15, bs, 0.1, 1.0, seed + 2).unwrap();
+        let mut b = DagBuilder::new();
+        let xe = b.input("X", *x.meta());
+        let ue = b.input("U", *u.meta());
+        let ve = b.input("V", *v.meta());
+        let vt = b.transpose(ve);
+        let mm = b.matmul(ue, vt);
+        let eps = b.scalar(0.5);
+        let add = b.binary(mm, eps, BinOp::Add);
+        let lg = b.unary(add, UnaryOp::Log);
+        let out = b.binary(xe, lg, BinOp::Mul);
+        let dag = b.finish(vec![out]);
+        let plan = PartialPlan::new(
+            BTreeSet::from([vt.id(), mm.id(), add.id(), lg.id(), out.id()]),
+            out.id(),
+        );
+        let bindings: Bindings = [
+            ("X".to_string(), Arc::new(x.clone())),
+            ("U".to_string(), Arc::new(u.clone())),
+            ("V".to_string(), Arc::new(v.clone())),
+        ]
+        .into_iter()
+        .collect();
+        let expected = evaluate(&dag, &bindings).unwrap()[0]
+            .as_matrix()
+            .unwrap()
+            .as_ref()
+            .clone();
+        let values: ValueMap = [
+            (xe.id(), Arc::new(x)),
+            (ue.id(), Arc::new(u)),
+            (ve.id(), Arc::new(v)),
+        ]
+        .into_iter()
+        .collect();
+        Fixture {
+            dag,
+            plan,
+            values,
+            expected,
+        }
+    }
+
+    fn run(strategy: Strategy, fixture: &Fixture) -> Result<Arc<BlockedMatrix>, SimError> {
+        let cluster = Cluster::new(ClusterConfig::test_small());
+        let model = cost_model(&cluster);
+        execute_fused(
+            &cluster,
+            &fixture.dag,
+            &fixture.plan,
+            &fixture.values,
+            &strategy,
+            &model,
+        )
+    }
+
+    #[test]
+    fn cfo_r1_matches_reference() {
+        let f = nmf_fixture(10);
+        let out = run(
+            Strategy::Cuboid {
+                pqr: Pqr { p: 2, q: 3, r: 1 },
+            },
+            &f,
+        )
+        .unwrap();
+        assert!(out.approx_eq(&f.expected, 1e-9));
+    }
+
+    #[test]
+    fn cfo_r2_two_stage_matches_reference() {
+        let f = nmf_fixture(11);
+        let out = run(
+            Strategy::Cuboid {
+                pqr: Pqr { p: 2, q: 2, r: 2 },
+            },
+            &f,
+        )
+        .unwrap();
+        assert!(out.approx_eq(&f.expected, 1e-9));
+    }
+
+    #[test]
+    fn bfo_matches_reference() {
+        let f = nmf_fixture(12);
+        let out = run(
+            Strategy::Broadcast {
+                partition_bytes: 1 << 12,
+            },
+            &f,
+        )
+        .unwrap();
+        assert!(out.approx_eq(&f.expected, 1e-9));
+    }
+
+    #[test]
+    fn rfo_matches_reference() {
+        let f = nmf_fixture(13);
+        let out = run(Strategy::Replication, &f).unwrap();
+        assert!(out.approx_eq(&f.expected, 1e-9));
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let f = nmf_fixture(14);
+        let a = run(
+            Strategy::Cuboid {
+                pqr: Pqr { p: 3, q: 2, r: 2 },
+            },
+            &f,
+        )
+        .unwrap();
+        let b = run(
+            Strategy::Broadcast {
+                partition_bytes: 1 << 14,
+            },
+            &f,
+        )
+        .unwrap();
+        let c = run(Strategy::Replication, &f).unwrap();
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(b.approx_eq(&c, 1e-9));
+    }
+
+    #[test]
+    fn cfo_cheaper_comm_than_rfo() {
+        let f = nmf_fixture(15);
+        let cl_cfo = Cluster::new(ClusterConfig::test_small());
+        let cl_rfo = Cluster::new(ClusterConfig::test_small());
+        let model = cost_model(&cl_cfo);
+        execute_fused(
+            &cl_cfo,
+            &f.dag,
+            &f.plan,
+            &f.values,
+            &Strategy::Cuboid {
+                pqr: Pqr { p: 2, q: 2, r: 1 },
+            },
+            &model,
+        )
+        .unwrap();
+        execute_fused(&cl_rfo, &f.dag, &f.plan, &f.values, &Strategy::Replication, &model)
+            .unwrap();
+        assert!(
+            cl_cfo.comm().total() < cl_rfo.comm().total(),
+            "CFO {} vs RFO {}",
+            cl_cfo.comm().total(),
+            cl_rfo.comm().total()
+        );
+    }
+
+    #[test]
+    fn bfo_ooms_on_tight_budget() {
+        let f = nmf_fixture(16);
+        let mut cfg = ClusterConfig::test_small();
+        // Budget below the broadcast footprint (both side matrices whole).
+        cfg.mem_per_task = 6_000;
+        let cluster = Cluster::new(cfg);
+        let model = cost_model(&cluster);
+        let err = execute_fused(
+            &cluster,
+            &f.dag,
+            &f.plan,
+            &f.values,
+            &Strategy::Broadcast {
+                partition_bytes: 1 << 12,
+            },
+            &model,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }));
+        // The CFO squeezes under the same budget by partitioning finer.
+        let cluster2 = Cluster::new(cfg);
+        let out = execute_fused(
+            &cluster2,
+            &f.dag,
+            &f.plan,
+            &f.values,
+            &Strategy::Cuboid {
+                pqr: Pqr { p: 6, q: 6, r: 3 },
+            },
+            &model,
+        )
+        .unwrap();
+        assert!(out.approx_eq(&f.expected, 1e-9));
+    }
+
+    #[test]
+    fn agg_root_full_sum() {
+        // sum((U×V) * X) fused with an aggregation root, vs the interpreter.
+        let bs = 4;
+        let u = gen::dense_uniform(16, 8, bs, 0.0, 1.0, 20).unwrap();
+        let v = gen::dense_uniform(8, 16, bs, 0.0, 1.0, 21).unwrap();
+        let x = gen::sparse_uniform(16, 16, bs, 0.3, 1.0, 2.0, 22).unwrap();
+        let mut b = DagBuilder::new();
+        let ue = b.input("U", *u.meta());
+        let ve = b.input("V", *v.meta());
+        let xe = b.input("X", *x.meta());
+        let mm = b.matmul(ue, ve);
+        let prod = b.binary(mm, xe, BinOp::Mul);
+        let total = b.full_agg(prod, AggOp::Sum);
+        let dag = b.finish(vec![total]);
+        let plan = PartialPlan::new(
+            BTreeSet::from([mm.id(), prod.id(), total.id()]),
+            total.id(),
+        );
+        let bindings: Bindings = [
+            ("U".to_string(), Arc::new(u.clone())),
+            ("V".to_string(), Arc::new(v.clone())),
+            ("X".to_string(), Arc::new(x.clone())),
+        ]
+        .into_iter()
+        .collect();
+        let expected = evaluate(&dag, &bindings).unwrap()[0].as_scalar().unwrap();
+        let values: ValueMap = [
+            (ue.id(), Arc::new(u)),
+            (ve.id(), Arc::new(v)),
+            (xe.id(), Arc::new(x)),
+        ]
+        .into_iter()
+        .collect();
+        let cluster = Cluster::new(ClusterConfig::test_small());
+        let model = cost_model(&cluster);
+        for strategy in [
+            Strategy::Cuboid {
+                pqr: Pqr { p: 2, q: 2, r: 2 },
+            },
+            Strategy::Replication,
+        ] {
+            let out =
+                execute_fused(&cluster, &dag, &plan, &values, &strategy, &model).unwrap();
+            let got = out.get(0, 0).unwrap();
+            assert!(
+                (got - expected).abs() < 1e-9 * expected.abs().max(1.0),
+                "{strategy:?}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn agg_root_row_and_col() {
+        let bs = 4;
+        let u = gen::dense_uniform(12, 8, bs, 0.0, 1.0, 30).unwrap();
+        let v = gen::dense_uniform(8, 12, bs, 0.0, 1.0, 31).unwrap();
+        let mut b = DagBuilder::new();
+        let ue = b.input("U", *u.meta());
+        let ve = b.input("V", *v.meta());
+        let mm = b.matmul(ue, ve);
+        let rows = b.row_agg(mm, AggOp::Sum);
+        let dag = b.finish(vec![rows]);
+        let plan = PartialPlan::new(BTreeSet::from([mm.id(), rows.id()]), rows.id());
+        let bindings: Bindings = [
+            ("U".to_string(), Arc::new(u.clone())),
+            ("V".to_string(), Arc::new(v.clone())),
+        ]
+        .into_iter()
+        .collect();
+        let expected = evaluate(&dag, &bindings).unwrap()[0]
+            .as_matrix()
+            .unwrap()
+            .as_ref()
+            .clone();
+        let values: ValueMap = [(ue.id(), Arc::new(u)), (ve.id(), Arc::new(v))]
+            .into_iter()
+            .collect();
+        let cluster = Cluster::new(ClusterConfig::test_small());
+        let model = cost_model(&cluster);
+        let out = execute_fused(
+            &cluster,
+            &dag,
+            &plan,
+            &values,
+            &Strategy::Cuboid {
+                pqr: Pqr { p: 3, q: 2, r: 2 },
+            },
+            &model,
+        )
+        .unwrap();
+        assert!(out.approx_eq(&expected, 1e-9));
+    }
+
+    #[test]
+    fn cell_plan_without_matmul() {
+        let bs = 4;
+        let x = gen::sparse_uniform(16, 16, bs, 0.2, 1.0, 2.0, 40).unwrap();
+        let u = gen::dense_uniform(16, 16, bs, 0.5, 1.5, 41).unwrap();
+        let v = gen::dense_uniform(16, 16, bs, 0.5, 1.5, 42).unwrap();
+        let mut b = DagBuilder::new();
+        let xe = b.input("X", *x.meta());
+        let ue = b.input("U", *u.meta());
+        let ve = b.input("V", *v.meta());
+        let m1 = b.binary(xe, ue, BinOp::Mul);
+        let out = b.binary(m1, ve, BinOp::Div);
+        let dag = b.finish(vec![out]);
+        let plan = PartialPlan::new(BTreeSet::from([m1.id(), out.id()]), out.id());
+        let bindings: Bindings = [
+            ("X".to_string(), Arc::new(x.clone())),
+            ("U".to_string(), Arc::new(u.clone())),
+            ("V".to_string(), Arc::new(v.clone())),
+        ]
+        .into_iter()
+        .collect();
+        let expected = evaluate(&dag, &bindings).unwrap()[0]
+            .as_matrix()
+            .unwrap()
+            .as_ref()
+            .clone();
+        let values: ValueMap = [
+            (xe.id(), Arc::new(x)),
+            (ue.id(), Arc::new(u)),
+            (ve.id(), Arc::new(v)),
+        ]
+        .into_iter()
+        .collect();
+        let cluster = Cluster::new(ClusterConfig::test_small());
+        let model = cost_model(&cluster);
+        let out = execute_fused(
+            &cluster,
+            &dag,
+            &plan,
+            &values,
+            &Strategy::Cuboid {
+                pqr: Pqr { p: 1, q: 1, r: 1 },
+            },
+            &model,
+        )
+        .unwrap();
+        assert!(out.approx_eq(&expected, 1e-9));
+        // Communication: each input shipped exactly once (co-partitioned).
+        let total: u64 = values.values().map(|m| m.actual_size_bytes()).sum();
+        assert_eq!(cluster.comm().consolidation_bytes, total);
+    }
+
+    #[test]
+    fn comm_scales_with_replication_factors() {
+        // Measured consolidation bytes for the CFO must track the model's
+        // R·|X| + Q·|U| + P·|V| shape: raising Q raises U traffic.
+        let f = nmf_fixture(50);
+        let cl_q1 = Cluster::new(ClusterConfig::test_small());
+        let cl_q3 = Cluster::new(ClusterConfig::test_small());
+        let model = cost_model(&cl_q1);
+        execute_fused(
+            &cl_q1,
+            &f.dag,
+            &f.plan,
+            &f.values,
+            &Strategy::Cuboid {
+                pqr: Pqr { p: 2, q: 1, r: 1 },
+            },
+            &model,
+        )
+        .unwrap();
+        execute_fused(
+            &cl_q3,
+            &f.dag,
+            &f.plan,
+            &f.values,
+            &Strategy::Cuboid {
+                pqr: Pqr { p: 2, q: 3, r: 1 },
+            },
+            &model,
+        )
+        .unwrap();
+        assert!(cl_q3.comm().consolidation_bytes > cl_q1.comm().consolidation_bytes);
+    }
+
+    #[test]
+    fn supports_k_split_detection() {
+        let f = nmf_fixture(60);
+        assert!(supports_k_split(&f.dag, &f.plan));
+        // A matmul chain anchors on the downstream multiplication (the
+        // upstream one nests in its L-space), so the k-axis stays
+        // splittable and the cost model matches the execution tiling.
+        let mut b = DagBuilder::new();
+        let a = b.input("A", MatrixMeta::dense(40, 40, 10));
+        let c = b.input("C", MatrixMeta::dense(40, 40, 10));
+        let d = b.input("D", MatrixMeta::dense(40, 5, 10));
+        let mm1 = b.matmul(a, c);
+        let mm2 = b.matmul(mm1, d);
+        let dag = b.finish(vec![mm2]);
+        let plan = PartialPlan::new(BTreeSet::from([mm1.id(), mm2.id()]), mm2.id());
+        assert_eq!(plan.main_matmul(&dag).unwrap(), mm2.id());
+        assert!(supports_k_split(&dag, &plan));
+    }
+}

@@ -1,0 +1,588 @@
+//! The fused-kernel interpreter and its routing mirror.
+//!
+//! A *kernel* (paper Fig. 8) is the fused computation of one output block:
+//! it pulls the input blocks it touches from the task's local store and
+//! evaluates the plan's operator DAG at block granularity, materializing
+//! only per-block scratch. Three entry points share one recursion:
+//!
+//! * [`KernelCtx::eval`] — compute the value of a plan node at a block
+//!   coordinate;
+//! * [`KernelCtx::needs`] — collect the external-input block coordinates
+//!   that evaluation would touch (used by operators to route blocks, and
+//!   deliberately *not* sparsity-pruned: consolidation ships whole cuboid
+//!   slices, matching the paper's partition-granular communication);
+//! * [`KernelCtx::has_support`] — decide whether an output block can be
+//!   non-zero at all; empty-gated blocks are skipped entirely, which is the
+//!   block-level form of the paper's sparsity exploitation.
+//!
+//! The main matrix multiplication sums over the task's `k`-slice only; with
+//! `R > 1` that produces a *partial* result which the aggregation stage
+//! combines before the `O`-space operators run (see `fused_op`). Nested
+//! multiplications always see their full common dimension locally — their
+//! subspaces are confined, so the needed blocks were all routed.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::ops::Range;
+use std::sync::Arc;
+
+use fuseme_matrix::{Block, DenseBlock};
+use fuseme_plan::{NodeId, OpKind, QueryDag};
+use fuseme_sim::SimError;
+
+/// A task's local collection of input blocks, keyed by the plan node that
+/// produced them (input leaf or materialized intermediate) and grid
+/// coordinate.
+#[derive(Debug, Default, Clone)]
+pub struct LocalStore {
+    blocks: HashMap<(NodeId, (usize, usize)), Arc<Block>>,
+}
+
+impl LocalStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        LocalStore::default()
+    }
+
+    /// Installs a block for `(node, coord)`.
+    pub fn insert(&mut self, node: NodeId, coord: (usize, usize), block: Arc<Block>) {
+        self.blocks.insert((node, coord), block);
+    }
+
+    /// The block at `(node, coord)`, if present (absent = all-zero).
+    pub fn get(&self, node: NodeId, coord: (usize, usize)) -> Option<&Arc<Block>> {
+        self.blocks.get(&(node, coord))
+    }
+
+    /// Total bytes held (= what consolidation shipped to this task).
+    pub fn total_bytes(&self) -> u64 {
+        self.blocks.values().map(|b| b.size_bytes()).sum()
+    }
+
+    /// Number of blocks held.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when no blocks are held.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// Evaluation context for one task's kernels.
+pub struct KernelCtx<'a> {
+    dag: &'a QueryDag,
+    /// Operators belonging to the fused plan (kernel recursion stays inside;
+    /// everything else must come from the store).
+    ops: &'a BTreeSet<NodeId>,
+    /// The plan's main matrix multiplication, if any.
+    main_mm: Option<NodeId>,
+    /// The task's k-slice for the main multiplication (block indices).
+    k_range: Range<usize>,
+    store: &'a LocalStore,
+    /// Stage-2 override: fully aggregated main-multiplication blocks.
+    mm_override: Option<&'a HashMap<(usize, usize), Arc<Block>>>,
+    memo: HashMap<(NodeId, usize, usize), Arc<Block>>,
+}
+
+impl<'a> KernelCtx<'a> {
+    /// Creates a context. `k_range` is the slice of block indices of the
+    /// main multiplication's common dimension assigned to this task (pass
+    /// the full range when `R = 1` or there is no multiplication).
+    pub fn new(
+        dag: &'a QueryDag,
+        ops: &'a BTreeSet<NodeId>,
+        main_mm: Option<NodeId>,
+        k_range: Range<usize>,
+        store: &'a LocalStore,
+    ) -> Self {
+        KernelCtx {
+            dag,
+            ops,
+            main_mm,
+            k_range,
+            store,
+            mm_override: None,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Installs aggregated main-multiplication results (stage 2): `eval` on
+    /// the main multiplication reads these instead of recomputing.
+    pub fn with_mm_override(
+        mut self,
+        values: &'a HashMap<(usize, usize), Arc<Block>>,
+    ) -> Self {
+        self.mm_override = Some(values);
+        self
+    }
+
+    fn block_dims(&self, node: NodeId, bi: usize, bj: usize) -> (usize, usize) {
+        self.dag.node(node).meta.block_dims(bi, bj)
+    }
+
+    /// Evaluates plan node `node` at block coordinate `(bi, bj)`.
+    ///
+    /// Returns the block value; absent sparse inputs read as zero blocks.
+    /// Results are memoized per task, so diamond-shaped plans (a node
+    /// consumed twice inside the fusion) compute once — the paper's Row
+    /// template "scan X once, use twice" falls out of this.
+    pub fn eval(&mut self, node: NodeId, bi: usize, bj: usize) -> Result<Arc<Block>, SimError> {
+        if let Some(hit) = self.memo.get(&(node, bi, bj)) {
+            return Ok(Arc::clone(hit));
+        }
+        let value = self.eval_uncached(node, bi, bj)?;
+        self.memo.insert((node, bi, bj), Arc::clone(&value));
+        Ok(value)
+    }
+
+    fn fetch_external(&self, node: NodeId, bi: usize, bj: usize) -> Arc<Block> {
+        match self.store.get(node, (bi, bj)) {
+            Some(b) => Arc::clone(b),
+            None => {
+                let (r, c) = self.block_dims(node, bi, bj);
+                Arc::new(Block::zero(r, c))
+            }
+        }
+    }
+
+    fn eval_uncached(&mut self, node: NodeId, bi: usize, bj: usize) -> Result<Arc<Block>, SimError> {
+        // Values produced outside the plan come from the local store.
+        if !self.ops.contains(&node) {
+            return Ok(self.fetch_external(node, bi, bj));
+        }
+        // Stage-2: the main multiplication's aggregated value is injected.
+        if Some(node) == self.main_mm {
+            if let Some(vals) = self.mm_override {
+                return Ok(match vals.get(&(bi, bj)) {
+                    Some(b) => Arc::clone(b),
+                    None => {
+                        let (r, c) = self.block_dims(node, bi, bj);
+                        Arc::new(Block::zero(r, c))
+                    }
+                });
+            }
+        }
+        let n = self.dag.node(node);
+        let value: Block = match &n.kind {
+            OpKind::Input { .. } | OpKind::Scalar(_) => {
+                unreachable!("leaves are never plan members")
+            }
+            OpKind::Unary(op) => {
+                let x = self.eval(n.inputs[0], bi, bj)?;
+                x.map(*op)
+            }
+            OpKind::Binary(op) => {
+                let (l_id, r_id) = (n.inputs[0], n.inputs[1]);
+                match (self.scalar_of(l_id), self.scalar_of(r_id)) {
+                    (Some(s), None) => {
+                        let x = self.eval(r_id, bi, bj)?;
+                        x.scalar_zip(s, *op)
+                    }
+                    (None, Some(s)) => {
+                        let x = self.eval(l_id, bi, bj)?;
+                        x.zip_scalar(s, *op)
+                    }
+                    (None, None) => {
+                        let l = self.eval(l_id, bi, bj)?;
+                        let r = self.eval(r_id, bi, bj)?;
+                        l.zip(&r, *op)?
+                    }
+                    (Some(_), Some(_)) => {
+                        return Err(SimError::Task(
+                            "binary over two scalars inside a kernel".into(),
+                        ))
+                    }
+                }
+            }
+            OpKind::Transpose => {
+                let x = self.eval(n.inputs[0], bj, bi)?;
+                x.transpose()
+            }
+            OpKind::MatMul => {
+                let (l_id, r_id) = (n.inputs[0], n.inputs[1]);
+                let ks = self.mm_k_range(node);
+                let (rows, cols) = self.block_dims(node, bi, bj);
+                let mut acc = DenseBlock::zeros(rows, cols);
+                for k in ks {
+                    // Skip k-terms with no support on either side (absent
+                    // sparse blocks contribute nothing).
+                    if !self.has_support(l_id, bi, k) || !self.has_support(r_id, k, bj) {
+                        continue;
+                    }
+                    let l = self.eval(l_id, bi, k)?;
+                    let r = self.eval(r_id, k, bj)?;
+                    l.gemm_acc(&r, &mut acc)?;
+                }
+                Block::Dense(acc).compact()
+            }
+            OpKind::FullAgg(_) | OpKind::RowAgg(_) | OpKind::ColAgg(_) => {
+                return Err(SimError::Task(
+                    "aggregation nodes are folded by the operator driver, not eval()".into(),
+                ))
+            }
+        };
+        Ok(Arc::new(value))
+    }
+
+    /// The k-slice a multiplication sums over: the task slice for the main
+    /// multiplication, the full common dimension for nested ones.
+    fn mm_k_range(&self, mm: NodeId) -> Range<usize> {
+        if Some(mm) == self.main_mm {
+            self.k_range.clone()
+        } else {
+            let left = self.dag.node(self.dag.node(mm).inputs[0]).meta;
+            0..left.grid().block_cols
+        }
+    }
+
+    fn scalar_of(&self, node: NodeId) -> Option<f64> {
+        match self.dag.node(node).kind {
+            OpKind::Scalar(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `true` if the value of `node` at `(bi, bj)` can have non-zeros.
+    /// Conservative: `true` unless provably all-zero from absent input
+    /// blocks and zero-propagation rules. This powers block-level sparsity
+    /// exploitation — kernels for unsupported output blocks never run.
+    pub fn has_support(&self, node: NodeId, bi: usize, bj: usize) -> bool {
+        if !self.ops.contains(&node) {
+            return self.store.get(node, (bi, bj)).is_some();
+        }
+        let n = self.dag.node(node);
+        match &n.kind {
+            OpKind::Input { .. } | OpKind::Scalar(_) => unreachable!("leaves not members"),
+            OpKind::Unary(op) => {
+                if op.preserves_zero() {
+                    self.has_support(n.inputs[0], bi, bj)
+                } else {
+                    true
+                }
+            }
+            OpKind::Binary(op) => {
+                let (l_id, r_id) = (n.inputs[0], n.inputs[1]);
+                match (self.scalar_of(l_id), self.scalar_of(r_id)) {
+                    (Some(s), None) => {
+                        op.apply(s, 0.0) != 0.0 || self.has_support(r_id, bi, bj)
+                    }
+                    (None, Some(s)) => {
+                        op.apply(0.0, s) != 0.0 || self.has_support(l_id, bi, bj)
+                    }
+                    (None, None) => {
+                        let l = self.has_support(l_id, bi, bj);
+                        let r = self.has_support(r_id, bi, bj);
+                        if op.zero_dominant() {
+                            l && r
+                        } else {
+                            l || r
+                        }
+                    }
+                    (Some(_), Some(_)) => true,
+                }
+            }
+            OpKind::Transpose => self.has_support(n.inputs[0], bj, bi),
+            OpKind::MatMul => {
+                if self.mm_override.is_some() && Some(node) == self.main_mm {
+                    return true;
+                }
+                let (l_id, r_id) = (n.inputs[0], n.inputs[1]);
+                self.mm_k_range(node)
+                    .any(|k| self.has_support(l_id, bi, k) && self.has_support(r_id, k, bj))
+            }
+            OpKind::FullAgg(_) | OpKind::RowAgg(_) | OpKind::ColAgg(_) => true,
+        }
+    }
+
+    /// Collects the external-input block coordinates that evaluating `node`
+    /// at `(bi, bj)` touches, into `out`. Structural (no sparsity pruning):
+    /// this is the routing contract, and consolidation ships slices exactly
+    /// as the paper's cost model charges them.
+    pub fn needs(
+        &self,
+        node: NodeId,
+        bi: usize,
+        bj: usize,
+        out: &mut BTreeSet<(NodeId, (usize, usize))>,
+    ) {
+        let mut visited = HashSet::new();
+        self.needs_shared(node, bi, bj, out, &mut visited);
+    }
+
+    /// [`Self::needs`] with a caller-provided visited set, so routing a
+    /// whole task tile shares deduplication across output blocks — the
+    /// total work becomes proportional to the number of *distinct* routed
+    /// coordinates (the consolidation volume) instead of `blocks × K`.
+    pub fn needs_shared(
+        &self,
+        node: NodeId,
+        bi: usize,
+        bj: usize,
+        out: &mut BTreeSet<(NodeId, (usize, usize))>,
+        visited: &mut HashSet<(NodeId, usize, usize)>,
+    ) {
+        self.needs_inner(node, bi, bj, out, visited);
+    }
+
+    fn needs_inner(
+        &self,
+        node: NodeId,
+        bi: usize,
+        bj: usize,
+        out: &mut BTreeSet<(NodeId, (usize, usize))>,
+        visited: &mut HashSet<(NodeId, usize, usize)>,
+    ) {
+        if !visited.insert((node, bi, bj)) {
+            return;
+        }
+        if !self.ops.contains(&node) {
+            if self.scalar_of(node).is_none() {
+                out.insert((node, (bi, bj)));
+            }
+            return;
+        }
+        if self.mm_override.is_some() && Some(node) == self.main_mm {
+            return; // provided by the aggregation stage
+        }
+        let n = self.dag.node(node);
+        match &n.kind {
+            OpKind::Input { .. } | OpKind::Scalar(_) => unreachable!("leaves not members"),
+            OpKind::Unary(_) => self.needs_inner(n.inputs[0], bi, bj, out, visited),
+            OpKind::Binary(_) => {
+                for &input in &n.inputs {
+                    if self.scalar_of(input).is_none() {
+                        self.needs_inner(input, bi, bj, out, visited);
+                    }
+                }
+            }
+            OpKind::Transpose => self.needs_inner(n.inputs[0], bj, bi, out, visited),
+            OpKind::MatMul => {
+                let (l_id, r_id) = (n.inputs[0], n.inputs[1]);
+                for k in self.mm_k_range(node) {
+                    self.needs_inner(l_id, bi, k, out, visited);
+                    self.needs_inner(r_id, k, bj, out, visited);
+                }
+            }
+            OpKind::FullAgg(_) | OpKind::RowAgg(_) | OpKind::ColAgg(_) => {
+                unreachable!("aggregation roots expand over their input grid in the driver")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuseme_matrix::{gen, BinOp, BlockedMatrix, UnaryOp};
+    use fuseme_plan::DagBuilder;
+
+    /// Builds the NMF query O = X * log(U×Vᵀ + eps) with all blocks of all
+    /// inputs in the store, and returns (dag, ops, root, main_mm, store,
+    /// reference output).
+    fn setup() -> (
+        QueryDag,
+        BTreeSet<NodeId>,
+        NodeId,
+        NodeId,
+        LocalStore,
+        BlockedMatrix,
+    ) {
+        let bs = 5;
+        let x = gen::sparse_uniform(20, 20, bs, 0.3, 1.0, 2.0, 1).unwrap();
+        let u = gen::dense_uniform(20, 10, bs, 0.1, 1.0, 2).unwrap();
+        let v = gen::dense_uniform(20, 10, bs, 0.1, 1.0, 3).unwrap();
+        let mut b = DagBuilder::new();
+        let xe = b.input("X", *x.meta());
+        let ue = b.input("U", *u.meta());
+        let ve = b.input("V", *v.meta());
+        let vt = b.transpose(ve);
+        let mm = b.matmul(ue, vt);
+        let eps = b.scalar(0.5);
+        let add = b.binary(mm, eps, BinOp::Add);
+        let lg = b.unary(add, UnaryOp::Log);
+        let out = b.binary(xe, lg, BinOp::Mul);
+        let dag = b.finish(vec![out]);
+        let ops = BTreeSet::from([vt.id(), mm.id(), add.id(), lg.id(), out.id()]);
+
+        let mut store = LocalStore::new();
+        for (m, id) in [(&x, xe.id()), (&u, ue.id()), (&v, ve.id())] {
+            for (bi, bj, blk) in m.iter_blocks() {
+                store.insert(id, (bi, bj), Arc::clone(blk));
+            }
+        }
+        let expected = {
+            let uvt = u.matmul(&v.transpose().unwrap()).unwrap();
+            let lg = uvt
+                .zip_scalar(0.5, BinOp::Add)
+                .unwrap()
+                .map(UnaryOp::Log)
+                .unwrap();
+            x.zip(&lg, BinOp::Mul).unwrap()
+        };
+        (dag, ops, out.id(), mm.id(), store, expected)
+    }
+
+    #[test]
+    fn kernel_matches_reference_per_block() {
+        let (dag, ops, root, mm, store, expected) = setup();
+        let mut ctx = KernelCtx::new(&dag, &ops, Some(mm), 0..2, &store);
+        for bi in 0..4 {
+            for bj in 0..4 {
+                let got = ctx.eval(root, bi, bj).unwrap();
+                let want = expected.block_or_zero(bi, bj);
+                let g = got.to_dense();
+                let w = want.to_dense();
+                for (a, b) in g.data().iter().zip(w.data()) {
+                    assert!((a - b).abs() < 1e-9, "block ({bi},{bj})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn support_skips_empty_gated_blocks() {
+        let (dag, ops, root, mm, mut store, _) = setup();
+        // Remove all X blocks: every output block loses support.
+        let x_id = dag
+            .nodes()
+            .iter()
+            .find(|n| matches!(&n.kind, OpKind::Input { name } if name == "X"))
+            .unwrap()
+            .id;
+        let keys: Vec<_> = (0..4)
+            .flat_map(|i| (0..4).map(move |j| (i, j)))
+            .collect();
+        let mut emptied = LocalStore::new();
+        for ((node, coord), blk) in keys
+            .iter()
+            .flat_map(|&c| store.get(x_id, c).map(|b| ((x_id, c), Arc::clone(b))))
+        {
+            let _ = (node, coord, blk);
+        }
+        let _ = &mut store;
+        // Build a store without X at all.
+        for node in dag.nodes() {
+            if let OpKind::Input { name } = &node.kind {
+                if name != "X" {
+                    for &c in &keys {
+                        if let Some(b) = store.get(node.id, c) {
+                            emptied.insert(node.id, c, Arc::clone(b));
+                        }
+                    }
+                }
+            }
+        }
+        let ctx = KernelCtx::new(&dag, &ops, Some(mm), 0..2, &emptied);
+        for &(bi, bj) in &keys {
+            assert!(!ctx.has_support(root, bi, bj));
+        }
+    }
+
+    #[test]
+    fn partial_k_slices_sum_to_full() {
+        let (dag, ops, _root, mm, store, _) = setup();
+        // Evaluate the matmul on two k-slices; their sum must equal the
+        // full-range evaluation.
+        let mut full = KernelCtx::new(&dag, &ops, Some(mm), 0..2, &store);
+        let mut lo = KernelCtx::new(&dag, &ops, Some(mm), 0..1, &store);
+        let mut hi = KernelCtx::new(&dag, &ops, Some(mm), 1..2, &store);
+        for bi in 0..4 {
+            for bj in 0..4 {
+                let f = full.eval(mm, bi, bj).unwrap().to_dense();
+                let a = lo.eval(mm, bi, bj).unwrap().to_dense();
+                let b = hi.eval(mm, bi, bj).unwrap().to_dense();
+                for ((x, y), z) in f.data().iter().zip(a.data()).zip(b.data()) {
+                    assert!((x - (y + z)).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mm_override_used_in_stage_two() {
+        let (dag, ops, root, mm, store, expected) = setup();
+        // Precompute full mm blocks, then hand them to a stage-2 context
+        // with an empty k-range: results must still be correct.
+        let mut pre = KernelCtx::new(&dag, &ops, Some(mm), 0..2, &store);
+        let mut agg: HashMap<(usize, usize), Arc<Block>> = HashMap::new();
+        for bi in 0..4 {
+            for bj in 0..4 {
+                agg.insert((bi, bj), pre.eval(mm, bi, bj).unwrap());
+            }
+        }
+        let mut stage2 =
+            KernelCtx::new(&dag, &ops, Some(mm), 0..0, &store).with_mm_override(&agg);
+        for bi in 0..4 {
+            for bj in 0..4 {
+                let got = stage2.eval(root, bi, bj).unwrap().to_dense();
+                let want = expected.block_or_zero(bi, bj).to_dense();
+                for (a, b) in got.data().iter().zip(want.data()) {
+                    assert!((a - b).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn needs_covers_structural_inputs() {
+        let (dag, ops, root, mm, store, _) = setup();
+        let ctx = KernelCtx::new(&dag, &ops, Some(mm), 0..2, &store);
+        let mut out = BTreeSet::new();
+        ctx.needs(root, 1, 2, &mut out);
+        // For output block (1,2): X(1,2); U(1, 0..2); V(2, 0..2) via the
+        // transpose.
+        let coords: Vec<_> = out.iter().collect();
+        assert_eq!(coords.len(), 1 + 2 + 2, "{coords:?}");
+        let ks: BTreeSet<usize> = out
+            .iter()
+            .filter(|(n, _)| {
+                matches!(&dag.node(*n).kind, OpKind::Input { name } if name == "U")
+            })
+            .map(|&(_, (_, k))| k)
+            .collect();
+        assert_eq!(ks, BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn needs_respects_k_slice() {
+        let (dag, ops, root, mm, store, _) = setup();
+        let ctx = KernelCtx::new(&dag, &ops, Some(mm), 1..2, &store);
+        let mut out = BTreeSet::new();
+        ctx.needs(root, 0, 0, &mut out);
+        for (n, (bi, bj)) in &out {
+            if let OpKind::Input { name } = &dag.node(*n).kind {
+                if name == "U" {
+                    assert_eq!((*bi, *bj), (0, 1), "only the k=1 slice of U");
+                }
+                if name == "V" {
+                    assert_eq!((*bi, *bj), (0, 1), "V(j=0, k=1)");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memoization_reuses_diamond_values() {
+        // (X×S)ᵀ×X-style reuse: X read twice, evaluated once per block.
+        let bs = 4;
+        let x = gen::dense_uniform(8, 8, bs, 0.0, 1.0, 7).unwrap();
+        let mut b = DagBuilder::new();
+        let xe = b.input("X", *x.meta());
+        let sq = b.unary(xe, UnaryOp::Square);
+        let dbl = b.binary(sq, sq, BinOp::Add); // diamond on sq
+        let dag = b.finish(vec![dbl]);
+        let ops = BTreeSet::from([sq.id(), dbl.id()]);
+        let mut store = LocalStore::new();
+        for (bi, bj, blk) in x.iter_blocks() {
+            store.insert(xe.id(), (bi, bj), Arc::clone(blk));
+        }
+        let mut ctx = KernelCtx::new(&dag, &ops, None, 0..0, &store);
+        let v = ctx.eval(dbl.id(), 0, 0).unwrap();
+        let direct = x.block_or_zero(0, 0).map(UnaryOp::Square);
+        let expect = direct.zip(&direct, BinOp::Add).unwrap();
+        assert_eq!(v.to_dense(), expect.to_dense());
+        // Memo holds sq at (0,0) exactly once.
+        assert!(ctx.memo.contains_key(&(sq.id(), 0, 0)));
+    }
+}

@@ -1,0 +1,91 @@
+//! A MatFast-style baseline planner: "folded" operators fuse only
+//! consecutive element-wise operators (paper §6.1 — "MatFast uses a simple
+//! folded operator that fuses consecutive element-wise operators").
+//!
+//! No sparsity exploitation, no aggregation tops, no transposes inside a
+//! fold; every multiplication and reorganization runs standalone.
+
+use std::collections::BTreeSet;
+
+use fuseme_plan::{OpKind, QueryDag};
+
+use crate::cfg::cell_fusion_with;
+use crate::plan::FusionPlan;
+
+/// The MatFast-style planner (stateless).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Folded;
+
+impl Folded {
+    /// Generates a fusion plan with element-wise folds only.
+    pub fn plan(&self, dag: &QueryDag) -> FusionPlan {
+        let folds = cell_fusion_with(dag, &BTreeSet::new(), |kind| {
+            matches!(kind, OpKind::Unary(_) | OpKind::Binary(_))
+        });
+        FusionPlan::assemble(dag, folds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ExecUnit;
+    use fuseme_matrix::{BinOp, MatrixMeta, UnaryOp};
+    use fuseme_plan::DagBuilder;
+
+    #[test]
+    fn folds_elementwise_chain_only() {
+        // out = sqrt((U×V) * X / Y): fold = {*, /, sqrt}; matmul standalone.
+        let mut b = DagBuilder::new();
+        let u = b.input("U", MatrixMeta::dense(20, 20, 10));
+        let v = b.input("V", MatrixMeta::dense(20, 20, 10));
+        let x = b.input("X", MatrixMeta::dense(20, 20, 10));
+        let y = b.input("Y", MatrixMeta::dense(20, 20, 10));
+        let mm = b.matmul(u, v);
+        let m1 = b.binary(mm, x, BinOp::Mul);
+        let m2 = b.binary(m1, y, BinOp::Div);
+        let out = b.unary(m2, UnaryOp::Sqrt);
+        let dag = b.finish(vec![out]);
+        let plan = Folded.plan(&dag);
+        plan.validate(&dag).unwrap();
+        assert_eq!(plan.fused_unit_count(), 1);
+        let fused = plan
+            .units
+            .iter()
+            .find_map(|u| match u {
+                ExecUnit::Fused(p) => Some(p),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(fused.len(), 3);
+        assert!(!fused.ops.contains(&mm.id()));
+    }
+
+    #[test]
+    fn transpose_breaks_fold() {
+        let mut b = DagBuilder::new();
+        let x = b.input("X", MatrixMeta::dense(20, 20, 10));
+        let y = b.input("Y", MatrixMeta::dense(20, 20, 10));
+        let s = b.binary(x, y, BinOp::Add);
+        let t = b.transpose(s);
+        let out = b.unary(t, UnaryOp::Abs);
+        let dag = b.finish(vec![out]);
+        let plan = Folded.plan(&dag);
+        plan.validate(&dag).unwrap();
+        // The add and abs are separated by the transpose: no multi-op fold
+        // possible.
+        assert_eq!(plan.fused_unit_count(), 0);
+        assert_eq!(plan.units.len(), 3);
+    }
+
+    #[test]
+    fn single_ops_stay_single() {
+        let mut b = DagBuilder::new();
+        let x = b.input("X", MatrixMeta::dense(20, 20, 10));
+        let out = b.unary(x, UnaryOp::Sqrt);
+        let dag = b.finish(vec![out]);
+        let plan = Folded.plan(&dag);
+        assert_eq!(plan.fused_unit_count(), 0);
+        assert_eq!(plan.units.len(), 1);
+    }
+}

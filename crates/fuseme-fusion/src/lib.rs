@@ -1,0 +1,30 @@
+//! Cuboid-based fusion: the paper's core contribution (§3–§4).
+//!
+//! * [`plan`] — partial fusion plans and whole-query fusion plans,
+//! * [`space`] — the 3-D model space: a plan containing matrix
+//!   multiplication decomposes into `MM`/`L`/`R`/`O` subspaces, recursively
+//!   for nested multiplications,
+//! * [`cost`] — `MemEst` / `NetEst` / `ComEst` (Algorithm 1, Eqs. 3–5) and
+//!   the combined `Cost` objective (Eq. 2),
+//! * [`optimizer`] — exhaustive and pruning searches for the optimal
+//!   `(P*, Q*, R*)` cuboid parameters,
+//! * [`cfg`] — the Cuboid-based Fusion plan Generator: exploration
+//!   (Algorithm 2) and exploitation (Algorithm 3) phases,
+//! * [`gen_like`] — a GEN-style baseline planner (SystemDS): Cell/Outer
+//!   templates, avoids fusing large matrix multiplications,
+//! * [`folded`] — a MatFast-style baseline fusing only consecutive
+//!   element-wise operators.
+
+pub mod cfg;
+pub mod cost;
+pub mod folded;
+pub mod gen_like;
+pub mod optimizer;
+pub mod plan;
+pub mod space;
+
+pub use cfg::Cfg;
+pub use cost::{CostModel, Estimates};
+pub use optimizer::{optimize, optimize_exhaustive, Pqr, SearchStats};
+pub use plan::{ExecUnit, FusionPlan, PartialPlan};
+pub use space::SpaceTree;

@@ -1,0 +1,131 @@
+//! Abstract syntax tree of the script language.
+
+/// Binary operators at the expression level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// Element-wise `+`.
+    Add,
+    /// Element-wise `-`.
+    Sub,
+    /// Element-wise `*`.
+    Mul,
+    /// Element-wise `/`.
+    Div,
+    /// Element-wise power `^`.
+    Pow,
+    /// Matrix multiplication `%*%`.
+    MatMul,
+    /// Comparison `!=` (0/1 result).
+    NotEq,
+    /// Comparison `>` (0/1 result).
+    Greater,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Variable or input reference.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary negation `-x`.
+    Neg(Box<Expr>),
+    /// Function application, e.g. `log(x)`, `t(x)`, `sum(x)`.
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `name = expr`.
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Bound expression.
+        expr: Expr,
+    },
+    /// `output a, b, …` — selects the script's result variables.
+    Output(Vec<String>),
+}
+
+/// A whole script.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// Names selected by a trailing `output` statement, or the last
+    /// assignment when absent.
+    pub fn output_names(&self) -> Vec<&str> {
+        for stmt in self.stmts.iter().rev() {
+            if let Stmt::Output(names) = stmt {
+                return names.iter().map(String::as_str).collect();
+            }
+        }
+        self.stmts
+            .iter()
+            .rev()
+            .find_map(|s| match s {
+                Stmt::Assign { name, .. } => Some(vec![name.as_str()]),
+                Stmt::Output(_) => None,
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_names_default_to_last_assignment() {
+        let p = Program {
+            stmts: vec![
+                Stmt::Assign {
+                    name: "a".into(),
+                    expr: Expr::Number(1.0),
+                },
+                Stmt::Assign {
+                    name: "b".into(),
+                    expr: Expr::Number(2.0),
+                },
+            ],
+        };
+        assert_eq!(p.output_names(), vec!["b"]);
+    }
+
+    #[test]
+    fn explicit_output_wins() {
+        let p = Program {
+            stmts: vec![
+                Stmt::Assign {
+                    name: "a".into(),
+                    expr: Expr::Number(1.0),
+                },
+                Stmt::Output(vec!["a".into()]),
+            ],
+        };
+        assert_eq!(p.output_names(), vec!["a"]);
+    }
+
+    #[test]
+    fn empty_program_has_no_outputs() {
+        assert!(Program::default().output_names().is_empty());
+    }
+}

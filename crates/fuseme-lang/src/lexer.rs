@@ -1,0 +1,228 @@
+//! Tokenizer for the DML-like script language.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or function name.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// `%*%` — matrix multiplication.
+    MatMul,
+    /// `!=`
+    NotEq,
+    /// `>`
+    Greater,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// Statement separator (newline or `;`).
+    Newline,
+}
+
+/// Tokenizer failure with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a script. Comments (`#` to end of line) are skipped; blank
+/// lines collapse into single [`Token::Newline`] separators.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let err = |line: usize, message: String| LexError { line, message };
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                if !matches!(tokens.last(), None | Some(Token::Newline)) {
+                    tokens.push(Token::Newline);
+                }
+                line += 1;
+                i += 1;
+            }
+            ';' => {
+                if !matches!(tokens.last(), None | Some(Token::Newline)) {
+                    tokens.push(Token::Newline);
+                }
+                i += 1;
+            }
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_whitespace() => i += 1,
+            '=' => {
+                tokens.push(Token::Assign);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '^' => {
+                tokens.push(Token::Caret);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '>' => {
+                tokens.push(Token::Greater);
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(err(line, "expected '=' after '!'".into()));
+                }
+            }
+            '%' => {
+                if chars.get(i + 1) == Some(&'*') && chars.get(i + 2) == Some(&'%') {
+                    tokens.push(Token::MatMul);
+                    i += 3;
+                } else {
+                    return Err(err(line, "expected '%*%'".into()));
+                }
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
+                        || chars[i] == 'E'
+                        || ((chars[i] == '+' || chars[i] == '-')
+                            && i > start
+                            && (chars[i - 1] == 'e' || chars[i - 1] == 'E')))
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let value = text
+                    .parse::<f64>()
+                    .map_err(|_| err(line, format!("bad number literal '{text}'")))?;
+                tokens.push(Token::Number(value));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => {
+                return Err(err(line, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    if matches!(tokens.last(), Some(Token::Newline)) {
+        tokens.pop();
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_expression() {
+        let t = tokenize("out = X * log(U %*% t(V) + 1e-8)").unwrap();
+        assert_eq!(t[0], Token::Ident("out".into()));
+        assert_eq!(t[1], Token::Assign);
+        assert!(t.contains(&Token::MatMul));
+        assert!(t.contains(&Token::Number(1e-8)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let t = tokenize("# header\n\n\na = 1 # trailing\nb = 2\n").unwrap();
+        let newlines = t.iter().filter(|t| matches!(t, Token::Newline)).count();
+        assert_eq!(newlines, 1);
+    }
+
+    #[test]
+    fn semicolon_separates() {
+        let t = tokenize("a = 1; b = 2").unwrap();
+        assert!(t.contains(&Token::Newline));
+    }
+
+    #[test]
+    fn comparison_tokens() {
+        let t = tokenize("m = X != 0; g = X > 1").unwrap();
+        assert!(t.contains(&Token::NotEq));
+        assert!(t.contains(&Token::Greater));
+    }
+
+    #[test]
+    fn bad_percent_rejected() {
+        let e = tokenize("a = X % Y").unwrap_err();
+        assert!(e.message.contains("%*%"));
+    }
+
+    #[test]
+    fn bad_char_rejected_with_line() {
+        let e = tokenize("a = 1\nb = @").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let t = tokenize("x = 2.5e+3").unwrap();
+        assert!(t.contains(&Token::Number(2500.0)));
+    }
+}

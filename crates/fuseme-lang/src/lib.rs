@@ -1,0 +1,110 @@
+//! A DML-like script frontend for FuseME.
+//!
+//! FuseME proper accepts queries through SystemML's Declarative Machine
+//! learning Language (DML) and a Scala API (paper §5). This crate provides
+//! the equivalent script surface: an R-flavoured expression language that
+//! lowers to [`fuseme_plan::QueryDag`].
+//!
+//! ```text
+//! # GNMF factor update (Eq. 6 of the paper)
+//! numU = U * (t(V) %*% X)
+//! denU = t(V) %*% V %*% U
+//! out  = numU / denU
+//! output out
+//! ```
+//!
+//! Supported syntax:
+//!
+//! * assignments `name = expr`, one per line; `#` comments;
+//! * binary operators `+ - * / ^` (element-wise; `^` is power), `%*%`
+//!   (matrix multiplication), comparisons `!=` and `>`;
+//! * functions `t(x)` (transpose), `log exp sqrt abs sigmoid relu tanh sin`,
+//!   aggregations `sum min max rowSums colSums`;
+//! * numeric literals; free identifiers resolve to input matrices whose
+//!   metadata the caller supplies;
+//! * an optional trailing `output a, b, …` statement selecting the query
+//!   roots (default: the last assignment).
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{BinaryOp, Expr, Program, Stmt};
+pub use lexer::{tokenize, Token};
+pub use lower::{lower, LowerError};
+pub use parser::{parse, ParseError};
+
+use std::collections::HashMap;
+
+use fuseme_matrix::MatrixMeta;
+use fuseme_plan::QueryDag;
+
+/// Compiles a script to a query DAG in one step.
+///
+/// `inputs` declares the metadata of every free identifier (input matrix)
+/// the script references.
+pub fn compile(
+    source: &str,
+    inputs: &HashMap<String, MatrixMeta>,
+) -> Result<QueryDag, CompileError> {
+    let tokens = tokenize(source).map_err(CompileError::Lex)?;
+    let program = parse(&tokens).map_err(CompileError::Parse)?;
+    lower(&program, inputs).map_err(CompileError::Lower)
+}
+
+/// Any front-end failure, with enough context to show the user.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Tokenizer rejected the source.
+    Lex(lexer::LexError),
+    /// Parser rejected the token stream.
+    Parse(ParseError),
+    /// Lowering rejected the program (unknown name, shape error, …).
+    Lower(LowerError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Lex(e) => write!(f, "{e}"),
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::Lower(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuseme_matrix::MatrixMeta;
+
+    #[test]
+    fn end_to_end_nmf_script() {
+        let src = r#"
+            # the paper's running example
+            out = X * log(U %*% t(V) + 0.00000001)
+        "#;
+        let inputs = HashMap::from([
+            ("X".to_string(), MatrixMeta::sparse(300, 300, 100, 0.01)),
+            ("U".to_string(), MatrixMeta::dense(300, 200, 100)),
+            ("V".to_string(), MatrixMeta::dense(300, 200, 100)),
+        ]);
+        let dag = compile(src, &inputs).unwrap();
+        dag.validate().unwrap();
+        assert_eq!(dag.roots().len(), 1);
+        assert_eq!(dag.matmuls().len(), 1);
+        let root = dag.node(dag.roots()[0]);
+        assert_eq!(root.meta.shape.rows, 300);
+        assert_eq!(root.meta.shape.cols, 300);
+    }
+
+    #[test]
+    fn unknown_input_reported() {
+        let err = compile("y = Missing + 1", &HashMap::new()).unwrap_err();
+        assert!(matches!(err, CompileError::Lower(_)));
+        assert!(err.to_string().contains("Missing"));
+    }
+}

@@ -1,0 +1,379 @@
+//! Dense row-major `f64` blocks and their kernels.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::ops::{AggOp, BinOp, UnaryOp};
+use crate::ELEM_BYTES;
+
+/// A dense row-major tile of a blocked matrix.
+///
+/// `data[r * cols + c]` holds element `(r, c)`. Blocks at matrix boundaries
+/// may be smaller than the nominal block size, so `rows`/`cols` are stored
+/// explicitly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseBlock {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseBlock {
+    /// Creates a zero-filled block.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseBlock {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a block filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        DenseBlock {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a block from a row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(Error::InvalidMeta(format!(
+                "dense buffer of {} elements cannot represent a {rows}x{cols} block",
+                data.len()
+            )));
+        }
+        Ok(DenseBlock { rows, cols, data })
+    }
+
+    /// Number of element rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of element columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the row-major data buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the row-major data buffer.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element accessor (bounds-checked in debug builds).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter (bounds-checked in debug builds).
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Number of stored non-zero values.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// In-memory size in bytes (used by the simulator's ledger).
+    pub fn size_bytes(&self) -> u64 {
+        (self.data.len() as u64) * ELEM_BYTES
+    }
+
+    /// Applies a unary element-wise operation, returning a new block.
+    pub fn map(&self, op: UnaryOp) -> DenseBlock {
+        let data = self.data.iter().map(|&v| op.apply(v)).collect();
+        DenseBlock {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Applies a binary element-wise operation against another dense block.
+    pub fn zip(&self, rhs: &DenseBlock, op: BinOp) -> Result<DenseBlock> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(Error::DimMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+                op: op.name(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| op.apply(a, b))
+            .collect();
+        Ok(DenseBlock {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Applies a binary element-wise operation against a scalar on the right
+    /// (`self op scalar`).
+    pub fn zip_scalar(&self, scalar: f64, op: BinOp) -> DenseBlock {
+        let data = self.data.iter().map(|&a| op.apply(a, scalar)).collect();
+        DenseBlock {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Applies a binary element-wise operation with the scalar on the left
+    /// (`scalar op self`).
+    pub fn scalar_zip(&self, scalar: f64, op: BinOp) -> DenseBlock {
+        let data = self.data.iter().map(|&a| op.apply(scalar, a)).collect();
+        DenseBlock {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Transposes the block.
+    pub fn transpose(&self) -> DenseBlock {
+        let mut out = DenseBlock::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Dense GEMM: `out += self * rhs`, accumulating into `out`.
+    ///
+    /// Uses the classic i-k-j loop order so the inner loop streams both the
+    /// `rhs` row and the `out` row sequentially.
+    pub fn gemm_acc(&self, rhs: &DenseBlock, out: &mut DenseBlock) -> Result<()> {
+        if self.cols != rhs.rows {
+            return Err(Error::GemmMismatch {
+                left_cols: self.cols,
+                right_rows: rhs.rows,
+            });
+        }
+        if out.rows != self.rows || out.cols != rhs.cols {
+            return Err(Error::DimMismatch {
+                left: (out.rows, out.cols),
+                right: (self.rows, rhs.cols),
+                op: "gemm output",
+            });
+        }
+        let n = rhs.cols;
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Dense GEMM producing a fresh output block.
+    pub fn gemm(&self, rhs: &DenseBlock) -> Result<DenseBlock> {
+        let mut out = DenseBlock::zeros(self.rows, rhs.cols);
+        self.gemm_acc(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Dot product of row `i` of `self` with column `j` of `rhs`.
+    ///
+    /// This is the kernel behind sparsity exploitation (paper Fig. 1(a)):
+    /// a fused operator computes only the output cells backed by a non-zero
+    /// of the sparse driver, each as one row-by-column dot product.
+    pub fn dot_row_col(&self, i: usize, rhs: &DenseBlock, j: usize) -> Result<f64> {
+        if self.cols != rhs.rows {
+            return Err(Error::GemmMismatch {
+                left_cols: self.cols,
+                right_rows: rhs.rows,
+            });
+        }
+        let row = self.row(i);
+        let mut acc = 0.0;
+        for (k, &a) in row.iter().enumerate() {
+            acc += a * rhs.data[k * rhs.cols + j];
+        }
+        Ok(acc)
+    }
+
+    /// Full aggregation to a scalar.
+    pub fn agg(&self, op: AggOp) -> f64 {
+        op.fold(self.data.iter().copied())
+    }
+
+    /// Row-wise aggregation, producing a `rows x 1` block.
+    pub fn row_agg(&self, op: AggOp) -> DenseBlock {
+        let mut out = DenseBlock::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.data[r] = op.fold(self.row(r).iter().copied());
+        }
+        out
+    }
+
+    /// Column-wise aggregation, producing a `1 x cols` block.
+    pub fn col_agg(&self, op: AggOp) -> DenseBlock {
+        let mut out = DenseBlock::zeros(1, self.cols);
+        match op {
+            AggOp::Sum => {
+                for r in 0..self.rows {
+                    for (acc, &v) in out.data.iter_mut().zip(self.row(r)) {
+                        *acc += v;
+                    }
+                }
+            }
+            _ => {
+                for c in 0..self.cols {
+                    out.data[c] = op.fold((0..self.rows).map(|r| self.get(r, c)));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(rows: usize, cols: usize, vals: &[f64]) -> DenseBlock {
+        DenseBlock::from_vec(rows, cols, vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn construct_and_index() {
+        let b = blk(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(b.get(0, 2), 3.0);
+        assert_eq!(b.get(1, 0), 4.0);
+        assert_eq!(b.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_len() {
+        assert!(DenseBlock::from_vec(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn map_applies_unary() {
+        let b = blk(1, 3, &[1.0, 4.0, 9.0]).map(UnaryOp::Sqrt);
+        assert_eq!(b.data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn zip_elementwise() {
+        let a = blk(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = blk(2, 2, &[10.0, 20.0, 30.0, 40.0]);
+        let c = a.zip(&b, BinOp::Add).unwrap();
+        assert_eq!(c.data(), &[11.0, 22.0, 33.0, 44.0]);
+        let d = a.zip(&b, BinOp::Mul).unwrap();
+        assert_eq!(d.data(), &[10.0, 40.0, 90.0, 160.0]);
+    }
+
+    #[test]
+    fn zip_rejects_mismatch() {
+        let a = blk(2, 2, &[1.0; 4]);
+        let b = blk(2, 3, &[1.0; 6]);
+        assert!(matches!(
+            a.zip(&b, BinOp::Add),
+            Err(Error::DimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn scalar_sides() {
+        let a = blk(1, 2, &[6.0, 9.0]);
+        assert_eq!(a.zip_scalar(3.0, BinOp::Div).data(), &[2.0, 3.0]);
+        assert_eq!(a.scalar_zip(18.0, BinOp::Div).data(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = blk(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn gemm_small() {
+        let a = blk(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = blk(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        let c = a.gemm(&b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gemm_accumulates() {
+        let a = blk(1, 1, &[2.0]);
+        let b = blk(1, 1, &[3.0]);
+        let mut out = blk(1, 1, &[10.0]);
+        a.gemm_acc(&b, &mut out).unwrap();
+        assert_eq!(out.data(), &[16.0]);
+    }
+
+    #[test]
+    fn gemm_rejects_mismatch() {
+        let a = blk(2, 3, &[0.0; 6]);
+        let b = blk(2, 2, &[0.0; 4]);
+        assert!(matches!(a.gemm(&b), Err(Error::GemmMismatch { .. })));
+    }
+
+    #[test]
+    fn dot_row_col_matches_gemm() {
+        let a = blk(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = blk(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.gemm(&b).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(a.dot_row_col(i, &b, j).unwrap(), c.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn aggregations() {
+        let a = blk(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.agg(AggOp::Sum), 21.0);
+        assert_eq!(a.agg(AggOp::Min), 1.0);
+        assert_eq!(a.agg(AggOp::Max), 6.0);
+        assert_eq!(a.row_agg(AggOp::Sum).data(), &[6.0, 15.0]);
+        assert_eq!(a.col_agg(AggOp::Sum).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(a.col_agg(AggOp::Max).data(), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn nnz_counts_nonzeros() {
+        let a = blk(2, 2, &[0.0, 1.0, 0.0, 2.0]);
+        assert_eq!(a.nnz(), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type shared by the matrix substrate.
+
+use std::fmt;
+
+/// Result alias used throughout `fuseme-matrix`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by block and matrix kernels.
+///
+/// Dimension mismatches are programming errors in plan construction, but the
+/// engine surfaces them as values (rather than panicking) so a malformed user
+/// query degrades into a reported failure instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Two operands disagree on dimensions for an element-wise operation.
+    DimMismatch {
+        /// Dimensions of the left operand, `(rows, cols)`.
+        left: (usize, usize),
+        /// Dimensions of the right operand, `(rows, cols)`.
+        right: (usize, usize),
+        /// Kernel that rejected the operands.
+        op: &'static str,
+    },
+    /// The inner dimensions of a matrix multiplication do not match.
+    GemmMismatch {
+        /// Columns of the left operand.
+        left_cols: usize,
+        /// Rows of the right operand.
+        right_rows: usize,
+    },
+    /// An index was outside the matrix or block bounds.
+    OutOfBounds {
+        /// The offending index, `(row, col)`.
+        index: (usize, usize),
+        /// The valid extent, `(rows, cols)`.
+        extent: (usize, usize),
+    },
+    /// A CSR structure failed validation (e.g. unsorted column indices).
+    InvalidSparse(String),
+    /// A matrix constructor was given inconsistent metadata.
+    InvalidMeta(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimMismatch { left, right, op } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            Error::GemmMismatch {
+                left_cols,
+                right_rows,
+            } => write!(
+                f,
+                "matrix multiply inner-dimension mismatch: left has {left_cols} cols, right has {right_rows} rows"
+            ),
+            Error::OutOfBounds { index, extent } => write!(
+                f,
+                "index ({}, {}) out of bounds for extent {}x{}",
+                index.0, index.1, extent.0, extent.1
+            ),
+            Error::InvalidSparse(msg) => write!(f, "invalid sparse block: {msg}"),
+            Error::InvalidMeta(msg) => write!(f, "invalid matrix metadata: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,108 @@
+//! Simple (de)serialization helpers for matrices.
+//!
+//! FuseME proper reads Parquet from HDFS; our examples persist matrices with
+//! a compact self-describing binary framing over `serde`-encoded block
+//! payloads so example pipelines (generate → save → load → run) exercise a
+//! realistic I/O path without external format dependencies.
+
+use std::io::{self, Read, Write};
+
+use crate::block::Block;
+use crate::error::Error;
+use crate::matrix::BlockedMatrix;
+use crate::meta::MatrixMeta;
+
+/// Magic bytes identifying the container format.
+const MAGIC: &[u8; 8] = b"FUSEME01";
+
+/// Writes a matrix to `w`.
+///
+/// Layout: magic, little-endian u64 header length, JSON-encoded
+/// [`MatrixMeta`], then for each present block its grid coordinate and a
+/// JSON-encoded [`Block`]. JSON keeps the format debuggable; matrices written
+/// by examples are small.
+pub fn write_matrix(w: &mut impl Write, m: &BlockedMatrix) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    let meta = serde_json::to_vec(m.meta()).map_err(io::Error::other)?;
+    w.write_all(&(meta.len() as u64).to_le_bytes())?;
+    w.write_all(&meta)?;
+    w.write_all(&(m.present_blocks() as u64).to_le_bytes())?;
+    for (bi, bj, b) in m.iter_blocks() {
+        w.write_all(&(bi as u64).to_le_bytes())?;
+        w.write_all(&(bj as u64).to_le_bytes())?;
+        let payload = serde_json::to_vec(b.as_ref()).map_err(io::Error::other)?;
+        w.write_all(&(payload.len() as u64).to_le_bytes())?;
+        w.write_all(&payload)?;
+    }
+    Ok(())
+}
+
+/// Reads a matrix previously written by [`write_matrix`].
+pub fn read_matrix(r: &mut impl Read) -> io::Result<BlockedMatrix> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a FuseME matrix file",
+        ));
+    }
+    let meta_len = read_u64(r)? as usize;
+    let mut meta_buf = vec![0u8; meta_len];
+    r.read_exact(&mut meta_buf)?;
+    let meta: MatrixMeta = serde_json::from_slice(&meta_buf).map_err(io::Error::other)?;
+    let mut m = BlockedMatrix::zeros(meta).map_err(invalid)?;
+    let blocks = read_u64(r)?;
+    for _ in 0..blocks {
+        let bi = read_u64(r)? as usize;
+        let bj = read_u64(r)? as usize;
+        let len = read_u64(r)? as usize;
+        let mut buf = vec![0u8; len];
+        r.read_exact(&mut buf)?;
+        let block: Block = serde_json::from_slice(&buf).map_err(io::Error::other)?;
+        m.set_block(bi, bj, block).map_err(invalid)?;
+    }
+    Ok(m)
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn invalid(e: Error) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip_dense() {
+        let m = gen::dense_uniform(7, 9, 4, 0.0, 1.0, 5).unwrap();
+        let mut buf = Vec::new();
+        write_matrix(&mut buf, &m).unwrap();
+        let m2 = read_matrix(&mut buf.as_slice()).unwrap();
+        assert_eq!(m.to_dense_vec(), m2.to_dense_vec());
+        assert_eq!(m.meta(), m2.meta());
+    }
+
+    #[test]
+    fn roundtrip_sparse() {
+        let m = gen::sparse_uniform(30, 30, 8, 0.1, -1.0, 1.0, 6).unwrap();
+        let mut buf = Vec::new();
+        write_matrix(&mut buf, &m).unwrap();
+        let m2 = read_matrix(&mut buf.as_slice()).unwrap();
+        assert_eq!(m.to_dense_vec(), m2.to_dense_vec());
+        assert_eq!(m2.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let garbage = b"NOTFUSEM-rest";
+        assert!(read_matrix(&mut garbage.as_slice()).is_err());
+    }
+}

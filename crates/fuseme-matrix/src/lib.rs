@@ -1,0 +1,39 @@
+//! Blocked dense/sparse matrix substrate for the FuseME engine.
+//!
+//! Distributed matrix systems in the FuseME / SystemDS / DistME lineage
+//! represent a matrix as a grid of fixed-size *blocks* and use the block as
+//! the unit of computation, communication, and memory accounting. This crate
+//! provides that substrate:
+//!
+//! * [`DenseBlock`] — a row-major `f64` tile,
+//! * [`SparseBlock`] — a CSR tile for sparse matrices,
+//! * [`Block`] — the dynamic dense/sparse union with full per-block kernels
+//!   (element-wise ops, GEMM, transpose, aggregations),
+//! * [`BlockedMatrix`] — a logical matrix as a grid of blocks, where absent
+//!   blocks are implicitly all-zero,
+//! * [`gen`] — seeded synthetic generators used by the evaluation harness.
+//!
+//! Everything is deterministic: generators take explicit seeds, block grids
+//! iterate in row-major order, and no kernel depends on hash iteration order.
+
+pub mod block;
+pub mod dense;
+pub mod error;
+pub mod gen;
+pub mod io;
+pub mod matrix;
+pub mod meta;
+pub mod ops;
+pub mod sparse;
+
+pub use block::Block;
+pub use dense::DenseBlock;
+pub use error::{Error, Result};
+pub use matrix::BlockedMatrix;
+pub use meta::{BlockGrid, MatrixMeta, Shape};
+pub use ops::{AggOp, BinOp, UnaryOp};
+pub use sparse::SparseBlock;
+
+/// Number of bytes in one `f64` element; used by every size/communication
+/// estimate in the engine.
+pub const ELEM_BYTES: u64 = 8;

@@ -1,0 +1,173 @@
+//! Property-based tests for the block and matrix kernels.
+//!
+//! The central invariant: every sparse kernel must agree with the dense
+//! kernel on the densified operands, and blocked whole-matrix operations
+//! must agree with naive element-level references.
+
+use proptest::prelude::*;
+
+use fuseme_matrix::matrix::from_triples;
+use fuseme_matrix::{AggOp, BinOp, Block, BlockedMatrix, DenseBlock, SparseBlock, UnaryOp};
+
+/// Strategy: a dense block with dimensions in 1..=8 and small round values
+/// (halves), so arithmetic comparisons are exact.
+fn dense_block() -> impl Strategy<Value = DenseBlock> {
+    (1usize..=8, 1usize..=8).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-8i32..=8, r * c).prop_map(move |vals| {
+            DenseBlock::from_vec(r, c, vals.into_iter().map(|v| v as f64 / 2.0).collect()).unwrap()
+        })
+    })
+}
+
+/// Strategy: a sparse block with the same value model and ~30% fill.
+fn sparse_block() -> impl Strategy<Value = SparseBlock> {
+    (1usize..=8, 1usize..=8).prop_flat_map(|(r, c)| {
+        proptest::collection::vec((0usize..r, 0usize..c, (-8i32..=8).prop_filter("nz", |v| *v != 0)), 0..=(r * c) / 2)
+            .prop_map(move |entries| {
+                let mut seen = std::collections::BTreeSet::new();
+                let triples: Vec<(usize, usize, f64)> = entries
+                    .into_iter()
+                    .filter(|&(er, ec, _)| seen.insert((er, ec)))
+                    .map(|(er, ec, v)| (er, ec, v as f64 / 2.0))
+                    .collect();
+                SparseBlock::from_triples(r, c, triples).unwrap()
+            })
+    })
+}
+
+fn pair_same_dims() -> impl Strategy<Value = (DenseBlock, DenseBlock)> {
+    (1usize..=8, 1usize..=8).prop_flat_map(|(r, c)| {
+        let mk = move || {
+            proptest::collection::vec(-8i32..=8, r * c).prop_map(move |vals| {
+                DenseBlock::from_vec(r, c, vals.into_iter().map(|v| v as f64 / 2.0).collect())
+                    .unwrap()
+            })
+        };
+        (mk(), mk())
+    })
+}
+
+proptest! {
+    #[test]
+    fn sparse_dense_roundtrip(s in sparse_block()) {
+        let d = s.to_dense();
+        let s2 = SparseBlock::from_dense(&d);
+        prop_assert_eq!(s2.to_dense(), d);
+        prop_assert_eq!(s2.nnz(), s.iter().filter(|&(_, _, v)| v != 0.0).count());
+    }
+
+    #[test]
+    fn sparse_transpose_agrees_with_dense(s in sparse_block()) {
+        prop_assert_eq!(s.transpose().to_dense(), s.to_dense().transpose());
+    }
+
+    #[test]
+    fn transpose_involutive(d in dense_block()) {
+        prop_assert_eq!(d.transpose().transpose(), d.clone());
+    }
+
+    #[test]
+    fn sparse_map_agrees_with_dense(s in sparse_block()) {
+        for op in [UnaryOp::Square, UnaryOp::Abs, UnaryOp::Neg, UnaryOp::NotZero] {
+            let via_sparse = s.map(op).unwrap().to_dense();
+            let via_dense = s.to_dense().map(op);
+            prop_assert_eq!(via_sparse, via_dense);
+        }
+    }
+
+    #[test]
+    fn block_zip_mixed_formats_agree((a, b) in pair_same_dims()) {
+        let sa = Block::Sparse(SparseBlock::from_dense(&a));
+        let sb = Block::Sparse(SparseBlock::from_dense(&b));
+        let da = Block::Dense(a);
+        let db = Block::Dense(b);
+        for op in [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Min, BinOp::Max] {
+            let reference = da.zip(&db, op).unwrap().to_dense();
+            for l in [&da, &sa] {
+                for r in [&db, &sb] {
+                    let got = l.zip(r, op).unwrap().to_dense();
+                    prop_assert_eq!(got.data(), reference.data());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_agrees_with_dense_gemm(s in sparse_block(), cols in 1usize..=6) {
+        let k = s.cols();
+        let rhs_vals: Vec<f64> = (0..k * cols).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let rhs = DenseBlock::from_vec(k, cols, rhs_vals).unwrap();
+        let mut out = DenseBlock::zeros(s.rows(), cols);
+        s.gemm_dense_acc(&rhs, &mut out).unwrap();
+        let expected = s.to_dense().gemm(&rhs).unwrap();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn agg_agrees_across_formats(s in sparse_block()) {
+        let d = s.to_dense();
+        for op in [AggOp::Sum, AggOp::Min, AggOp::Max] {
+            prop_assert_eq!(s.agg(op), d.agg(op));
+            prop_assert_eq!(s.row_agg(op), d.row_agg(op));
+            prop_assert_eq!(s.col_agg(op), d.col_agg(op));
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_associativity_shape(
+        m in 1usize..=6, k in 1usize..=6, n in 1usize..=6, bs in 1usize..=4
+    ) {
+        let a = BlockedMatrix::from_dense_vec(m, k, bs, (0..m * k).map(|i| i as f64).collect()).unwrap();
+        let b = BlockedMatrix::from_dense_vec(k, n, bs, (0..k * n).map(|i| (i as f64) - 2.0).collect()).unwrap();
+        let c = a.matmul(&b).unwrap();
+        prop_assert_eq!(c.shape().rows, m);
+        prop_assert_eq!(c.shape().cols, n);
+        // Block size must not change results.
+        let a1 = BlockedMatrix::from_dense_vec(m, k, 1, a.to_dense_vec()).unwrap();
+        let b1 = BlockedMatrix::from_dense_vec(k, n, 1, b.to_dense_vec()).unwrap();
+        let c1 = a1.matmul(&b1).unwrap();
+        prop_assert!(c.approx_eq(&BlockedMatrix::from_dense_vec(m, n, bs, c1.to_dense_vec()).unwrap(), 1e-9));
+    }
+
+    #[test]
+    fn blocked_transpose_matmul_identity(
+        m in 1usize..=5, n in 1usize..=5, bs in 1usize..=3
+    ) {
+        // (A^T)^T == A and (A B)^T == B^T A^T
+        let a = BlockedMatrix::from_dense_vec(m, n, bs, (0..m * n).map(|i| (i as f64) * 0.5).collect()).unwrap();
+        prop_assert!(a.transpose().unwrap().transpose().unwrap().approx_eq(&a, 0.0));
+        let b = BlockedMatrix::from_dense_vec(n, m, bs, (0..n * m).map(|i| (i as f64) - 1.0).collect()).unwrap();
+        let ab_t = a.matmul(&b).unwrap().transpose().unwrap();
+        let bt_at = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        prop_assert!(ab_t.approx_eq(&bt_at, 1e-9));
+    }
+
+    #[test]
+    fn from_triples_matches_get(
+        entries in proptest::collection::vec((0usize..10, 0usize..10, 1i32..5), 0..20)
+    ) {
+        let mut seen = std::collections::BTreeSet::new();
+        let triples: Vec<(usize, usize, f64)> = entries
+            .into_iter()
+            .filter(|&(r, c, _)| seen.insert((r, c)))
+            .map(|(r, c, v)| (r, c, v as f64))
+            .collect();
+        let m = from_triples(10, 10, 3, &triples).unwrap();
+        for &(r, c, v) in &triples {
+            prop_assert_eq!(m.get(r, c).unwrap(), v);
+        }
+        prop_assert_eq!(m.nnz() as usize, triples.len());
+    }
+
+    #[test]
+    fn zip_scalar_distributes(d in dense_block(), scalar in -4i32..=4) {
+        let s = scalar as f64;
+        let b = Block::Dense(d.clone());
+        let plus = b.zip_scalar(s, BinOp::Add);
+        for r in 0..d.rows() {
+            for c in 0..d.cols() {
+                prop_assert_eq!(plus.get(r, c), d.get(r, c) + s);
+            }
+        }
+    }
+}

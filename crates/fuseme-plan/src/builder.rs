@@ -1,0 +1,382 @@
+//! Expression-style construction of query DAGs with inline shape and
+//! sparsity inference.
+//!
+//! ```
+//! use fuseme_plan::DagBuilder;
+//! use fuseme_matrix::{BinOp, UnaryOp, MatrixMeta};
+//!
+//! // O = X * log(U x V^T + eps)   (the paper's running NMF example)
+//! let mut b = DagBuilder::new();
+//! let x = b.input("X", MatrixMeta::sparse(3000, 3000, 1000, 0.01));
+//! let u = b.input("U", MatrixMeta::dense(3000, 2000, 1000));
+//! let v = b.input("V", MatrixMeta::dense(3000, 2000, 1000));
+//! let vt = b.transpose(v);
+//! let uv = b.matmul(u, vt);
+//! let eps = b.scalar(1e-8);
+//! let shifted = b.binary(uv, eps, BinOp::Add);
+//! let logd = b.unary(shifted, UnaryOp::Log);
+//! let o = b.binary(x, logd, BinOp::Mul);
+//! let dag = b.finish(vec![o]);
+//! assert_eq!(dag.node(o.id()).meta.shape.rows, 3000);
+//! ```
+
+use fuseme_matrix::{AggOp, BinOp, MatrixMeta, Shape, UnaryOp};
+
+use crate::dag::QueryDag;
+use crate::ir::{matmul_density, Node, NodeId, OpKind};
+
+/// Handle to a node under construction. Cheap to copy; only valid for the
+/// builder that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expr(NodeId);
+
+impl Expr {
+    /// The underlying node id.
+    pub fn id(self) -> NodeId {
+        self.0
+    }
+}
+
+/// Errors detected while constructing a plan (shape mismatches and the
+/// like). The panicking builder methods wrap these; the `try_*` variants
+/// surface them, which the script frontend uses for user-facing messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildError(pub String);
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "plan construction error: {}", self.0)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incrementally builds a [`QueryDag`], inferring each node's [`MatrixMeta`]
+/// as it is added. Shapes are checked eagerly so errors point at the
+/// offending expression, not at execution time.
+#[derive(Debug, Default)]
+pub struct DagBuilder {
+    nodes: Vec<Node>,
+    /// Block size adopted from the first input; all inputs must agree.
+    block_size: Option<usize>,
+}
+
+impl DagBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        DagBuilder::default()
+    }
+
+    fn push(&mut self, kind: OpKind, inputs: Vec<NodeId>, meta: MatrixMeta) -> Expr {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            id,
+            kind,
+            inputs,
+            meta,
+        });
+        Expr(id)
+    }
+
+    fn meta_of(&self, e: Expr) -> &MatrixMeta {
+        &self.nodes[e.0].meta
+    }
+
+    fn is_scalar_node(&self, e: Expr) -> bool {
+        self.nodes[e.0].is_scalar()
+    }
+
+    /// Declares an input matrix. All inputs of one query must share a block
+    /// size.
+    pub fn try_input(&mut self, name: &str, meta: MatrixMeta) -> Result<Expr, BuildError> {
+        meta.validate()
+            .map_err(|e| BuildError(format!("input {name}: {e}")))?;
+        match self.block_size {
+            None => self.block_size = Some(meta.block_size),
+            Some(bs) if bs != meta.block_size => {
+                return Err(BuildError(format!(
+                    "input {name} uses block size {} but the query uses {bs}",
+                    meta.block_size
+                )))
+            }
+            Some(_) => {}
+        }
+        Ok(self.push(
+            OpKind::Input {
+                name: name.to_string(),
+            },
+            vec![],
+            meta,
+        ))
+    }
+
+    /// Panicking variant of [`Self::try_input`].
+    pub fn input(&mut self, name: &str, meta: MatrixMeta) -> Expr {
+        self.try_input(name, meta).unwrap()
+    }
+
+    /// Adds a scalar literal leaf.
+    pub fn scalar(&mut self, value: f64) -> Expr {
+        let meta = MatrixMeta::dense(1, 1, self.block_size.unwrap_or(1));
+        self.push(OpKind::Scalar(value), vec![], meta)
+    }
+
+    /// Adds an element-wise unary operator.
+    pub fn try_unary(&mut self, input: Expr, op: UnaryOp) -> Result<Expr, BuildError> {
+        if self.is_scalar_node(input) {
+            return Err(BuildError(format!(
+                "unary {} applied to a scalar literal; fold it instead",
+                op.name()
+            )));
+        }
+        let m = *self.meta_of(input);
+        let meta = MatrixMeta {
+            density: if op.preserves_zero() { m.density } else { 1.0 },
+            ..m
+        };
+        Ok(self.push(OpKind::Unary(op), vec![input.0], meta))
+    }
+
+    /// Panicking variant of [`Self::try_unary`].
+    pub fn unary(&mut self, input: Expr, op: UnaryOp) -> Expr {
+        self.try_unary(input, op).unwrap()
+    }
+
+    /// Adds an element-wise binary operator. Either operand may be a scalar
+    /// literal, which broadcasts over the other operand.
+    pub fn try_binary(&mut self, left: Expr, right: Expr, op: BinOp) -> Result<Expr, BuildError> {
+        let lm = *self.meta_of(left);
+        let rm = *self.meta_of(right);
+        let l_scalar = self.is_scalar_node(left);
+        let r_scalar = self.is_scalar_node(right);
+        let meta = match (l_scalar, r_scalar) {
+            (true, true) => {
+                return Err(BuildError(
+                    "binary op between two scalar literals; fold it instead".into(),
+                ))
+            }
+            (true, false) => {
+                let scalar = self.scalar_value(left);
+                let preserves = op.apply(scalar, 0.0) == 0.0;
+                MatrixMeta {
+                    density: if preserves { rm.density } else { 1.0 },
+                    ..rm
+                }
+            }
+            (false, true) => {
+                let scalar = self.scalar_value(right);
+                let preserves = op.apply(0.0, scalar) == 0.0;
+                MatrixMeta {
+                    density: if preserves { lm.density } else { 1.0 },
+                    ..lm
+                }
+            }
+            (false, false) => {
+                if lm.shape != rm.shape {
+                    return Err(BuildError(format!(
+                        "element-wise {} over mismatched shapes {}x{} vs {}x{}",
+                        op.name(),
+                        lm.shape.rows,
+                        lm.shape.cols,
+                        rm.shape.rows,
+                        rm.shape.cols
+                    )));
+                }
+                let density = if op.zero_dominant() {
+                    lm.density.min(rm.density)
+                } else {
+                    (lm.density + rm.density).min(1.0)
+                };
+                MatrixMeta { density, ..lm }
+            }
+        };
+        Ok(self.push(OpKind::Binary(op), vec![left.0, right.0], meta))
+    }
+
+    fn scalar_value(&self, e: Expr) -> f64 {
+        match self.nodes[e.0].kind {
+            OpKind::Scalar(v) => v,
+            _ => unreachable!("checked by caller"),
+        }
+    }
+
+    /// Panicking variant of [`Self::try_binary`].
+    pub fn binary(&mut self, left: Expr, right: Expr, op: BinOp) -> Expr {
+        self.try_binary(left, right, op).unwrap()
+    }
+
+    /// Adds a matrix multiplication (`ba(×)`).
+    pub fn try_matmul(&mut self, left: Expr, right: Expr) -> Result<Expr, BuildError> {
+        let lm = *self.meta_of(left);
+        let rm = *self.meta_of(right);
+        if self.is_scalar_node(left) || self.is_scalar_node(right) {
+            return Err(BuildError("matmul requires matrix operands".into()));
+        }
+        if lm.shape.cols != rm.shape.rows {
+            return Err(BuildError(format!(
+                "matmul inner dimensions differ: {}x{} × {}x{}",
+                lm.shape.rows, lm.shape.cols, rm.shape.rows, rm.shape.cols
+            )));
+        }
+        let density = matmul_density(lm.density, rm.density, lm.shape.cols);
+        let meta = MatrixMeta {
+            shape: Shape::new(lm.shape.rows, rm.shape.cols),
+            block_size: lm.block_size,
+            density,
+        };
+        Ok(self.push(OpKind::MatMul, vec![left.0, right.0], meta))
+    }
+
+    /// Panicking variant of [`Self::try_matmul`].
+    pub fn matmul(&mut self, left: Expr, right: Expr) -> Expr {
+        self.try_matmul(left, right).unwrap()
+    }
+
+    /// Adds a transpose (`r(T)`).
+    pub fn transpose(&mut self, input: Expr) -> Expr {
+        let meta = self.meta_of(input).transposed();
+        self.push(OpKind::Transpose, vec![input.0], meta)
+    }
+
+    /// Adds a full aggregation producing a `1x1` matrix.
+    pub fn full_agg(&mut self, input: Expr, op: AggOp) -> Expr {
+        let bs = self.meta_of(input).block_size;
+        let meta = MatrixMeta::dense(1, 1, bs);
+        self.push(OpKind::FullAgg(op), vec![input.0], meta)
+    }
+
+    /// Adds a row-wise aggregation producing an `n x 1` matrix.
+    pub fn row_agg(&mut self, input: Expr, op: AggOp) -> Expr {
+        let m = *self.meta_of(input);
+        let meta = MatrixMeta::dense(m.shape.rows, 1, m.block_size);
+        self.push(OpKind::RowAgg(op), vec![input.0], meta)
+    }
+
+    /// Adds a column-wise aggregation producing a `1 x n` matrix.
+    pub fn col_agg(&mut self, input: Expr, op: AggOp) -> Expr {
+        let m = *self.meta_of(input);
+        let meta = MatrixMeta::dense(1, m.shape.cols, m.block_size);
+        self.push(OpKind::ColAgg(op), vec![input.0], meta)
+    }
+
+    /// Metadata inferred so far for an expression.
+    pub fn meta(&self, e: Expr) -> MatrixMeta {
+        *self.meta_of(e)
+    }
+
+    /// Freezes the builder into a [`QueryDag`] with the given outputs.
+    pub fn finish(self, roots: Vec<Expr>) -> QueryDag {
+        QueryDag::new(self.nodes, roots.into_iter().map(|e| e.0).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(r: usize, c: usize) -> MatrixMeta {
+        MatrixMeta::dense(r, c, 10)
+    }
+
+    #[test]
+    fn shapes_inferred_through_chain() {
+        let mut b = DagBuilder::new();
+        let x = b.input("X", meta(30, 20));
+        let y = b.input("Y", meta(20, 40));
+        let p = b.matmul(x, y);
+        assert_eq!(b.meta(p).shape, Shape::new(30, 40));
+        let t = b.transpose(p);
+        assert_eq!(b.meta(t).shape, Shape::new(40, 30));
+        let rs = b.row_agg(t, AggOp::Sum);
+        assert_eq!(b.meta(rs).shape, Shape::new(40, 1));
+        let cs = b.col_agg(t, AggOp::Sum);
+        assert_eq!(b.meta(cs).shape, Shape::new(1, 30));
+        let s = b.full_agg(t, AggOp::Sum);
+        assert!(b.meta(s).shape.is_scalar());
+    }
+
+    #[test]
+    fn binary_shape_mismatch_rejected() {
+        let mut b = DagBuilder::new();
+        let x = b.input("X", meta(3, 3));
+        let y = b.input("Y", meta(3, 4));
+        assert!(b.try_binary(x, y, BinOp::Add).is_err());
+    }
+
+    #[test]
+    fn matmul_mismatch_rejected() {
+        let mut b = DagBuilder::new();
+        let x = b.input("X", meta(3, 3));
+        let y = b.input("Y", meta(4, 3));
+        assert!(b.try_matmul(x, y).is_err());
+    }
+
+    #[test]
+    fn block_size_conflict_rejected() {
+        let mut b = DagBuilder::new();
+        let _ = b.input("X", MatrixMeta::dense(10, 10, 5));
+        assert!(b.try_input("Y", MatrixMeta::dense(10, 10, 6)).is_err());
+    }
+
+    #[test]
+    fn scalar_broadcast_density() {
+        let mut b = DagBuilder::new();
+        let x = b.input("X", MatrixMeta::sparse(100, 100, 10, 0.1));
+        let eps = b.scalar(1e-6);
+        // X + eps densifies.
+        let add = b.binary(x, eps, BinOp::Add);
+        assert_eq!(b.meta(add).density, 1.0);
+        // X * 2 keeps sparsity.
+        let two = b.scalar(2.0);
+        let mul = b.binary(x, two, BinOp::Mul);
+        assert_eq!(b.meta(mul).density, 0.1);
+        // scalar on the left: 2 / X densifies (2/0 != 0).
+        let div = b.binary(two, x, BinOp::Div);
+        assert_eq!(b.meta(div).density, 1.0);
+    }
+
+    #[test]
+    fn two_scalars_rejected() {
+        let mut b = DagBuilder::new();
+        let a = b.scalar(1.0);
+        let c = b.scalar(2.0);
+        assert!(b.try_binary(a, c, BinOp::Add).is_err());
+        assert!(b.try_unary(a, UnaryOp::Log).is_err());
+    }
+
+    #[test]
+    fn sparsity_through_matmul() {
+        let mut b = DagBuilder::new();
+        let x = b.input("X", MatrixMeta::sparse(1000, 1000, 100, 0.001));
+        let y = b.input("Y", MatrixMeta::sparse(1000, 1000, 100, 0.001));
+        let p = b.matmul(x, y);
+        let d = b.meta(p).density;
+        assert!(d > 0.0 && d < 0.01, "product density {d}");
+        // Dense × dense is dense.
+        let u = b.input("U", MatrixMeta::dense(1000, 1000, 100));
+        let v = b.input("V", MatrixMeta::dense(1000, 1000, 100));
+        let q = b.matmul(u, v);
+        assert!((b.meta(q).density - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewmul_density_is_min() {
+        let mut b = DagBuilder::new();
+        let x = b.input("X", MatrixMeta::sparse(10, 10, 10, 0.05));
+        let u = b.input("U", MatrixMeta::dense(10, 10, 10));
+        let m = b.binary(x, u, BinOp::Mul);
+        assert_eq!(b.meta(m).density, 0.05);
+        let a = b.binary(x, u, BinOp::Add);
+        assert_eq!(b.meta(a).density, 1.0);
+    }
+
+    #[test]
+    fn finish_produces_valid_dag() {
+        let mut b = DagBuilder::new();
+        let x = b.input("X", meta(4, 4));
+        let sq = b.unary(x, UnaryOp::Square);
+        let dag = b.finish(vec![sq]);
+        dag.validate().unwrap();
+        assert_eq!(dag.roots(), &[sq.id()]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Single-node reference interpreter.
+//!
+//! Evaluates a [`QueryDag`] directly with the whole-matrix operations of
+//! [`fuseme_matrix::BlockedMatrix`], materializing every intermediate. It is
+//! intentionally naive: the distributed engines (BFO/RFO/CFO, fused or not)
+//! are validated against its output, so it must be obviously correct rather
+//! than fast.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fuseme_matrix::{BlockedMatrix, Error as MatrixError};
+
+use crate::dag::QueryDag;
+use crate::ir::{NodeId, OpKind};
+
+/// Named input matrices for a query.
+pub type Bindings = HashMap<String, Arc<BlockedMatrix>>;
+
+/// An intermediate or final value of evaluation.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A matrix value (shared; aggregation outputs are `1x1` matrices).
+    Matrix(Arc<BlockedMatrix>),
+    /// A scalar literal.
+    Scalar(f64),
+}
+
+impl Value {
+    /// The matrix inside, or an error for scalar values.
+    pub fn as_matrix(&self) -> Result<&Arc<BlockedMatrix>, EvalError> {
+        match self {
+            Value::Matrix(m) => Ok(m),
+            Value::Scalar(v) => Err(EvalError::Unbound(format!(
+                "expected matrix, found scalar {v}"
+            ))),
+        }
+    }
+
+    /// The scalar inside, extracting `1x1` matrices.
+    pub fn as_scalar(&self) -> Result<f64, EvalError> {
+        match self {
+            Value::Scalar(v) => Ok(*v),
+            Value::Matrix(m) if m.shape().is_scalar() => Ok(m.get(0, 0).expect("1x1")),
+            Value::Matrix(m) => Err(EvalError::Unbound(format!(
+                "expected scalar, found {}x{} matrix",
+                m.shape().rows,
+                m.shape().cols
+            ))),
+        }
+    }
+}
+
+/// Evaluation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A named input had no binding, or a value had the wrong kind.
+    Unbound(String),
+    /// A kernel rejected its operands.
+    Matrix(MatrixError),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Unbound(s) => write!(f, "evaluation error: {s}"),
+            EvalError::Matrix(e) => write!(f, "evaluation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<MatrixError> for EvalError {
+    fn from(e: MatrixError) -> Self {
+        EvalError::Matrix(e)
+    }
+}
+
+/// Evaluates every node of the DAG and returns the values of its roots, in
+/// root order.
+pub fn evaluate(dag: &QueryDag, inputs: &Bindings) -> Result<Vec<Value>, EvalError> {
+    let values = evaluate_all(dag, inputs)?;
+    Ok(dag.roots().iter().map(|&r| values[r].clone()).collect())
+}
+
+/// Evaluates every node, returning the full value table indexed by
+/// [`NodeId`]. Fusion tests use this to inspect intermediates.
+pub fn evaluate_all(dag: &QueryDag, inputs: &Bindings) -> Result<Vec<Value>, EvalError> {
+    let mut values: Vec<Option<Value>> = vec![None; dag.len()];
+    for node in dag.nodes() {
+        let value = match &node.kind {
+            OpKind::Input { name } => {
+                let m = inputs
+                    .get(name)
+                    .ok_or_else(|| EvalError::Unbound(format!("no binding for input {name}")))?;
+                Value::Matrix(Arc::clone(m))
+            }
+            OpKind::Scalar(v) => Value::Scalar(*v),
+            OpKind::Unary(op) => {
+                let m = get(&values, node.inputs[0]).as_matrix()?;
+                Value::Matrix(Arc::new(m.map(*op)?))
+            }
+            OpKind::Binary(op) => {
+                let l = get(&values, node.inputs[0]);
+                let r = get(&values, node.inputs[1]);
+                match (l, r) {
+                    (Value::Scalar(s), Value::Matrix(m)) => {
+                        Value::Matrix(Arc::new(m.scalar_zip(*s, *op)?))
+                    }
+                    (Value::Matrix(m), Value::Scalar(s)) => {
+                        Value::Matrix(Arc::new(m.zip_scalar(*s, *op)?))
+                    }
+                    (Value::Matrix(a), Value::Matrix(b)) => {
+                        Value::Matrix(Arc::new(a.zip(b, *op)?))
+                    }
+                    (Value::Scalar(_), Value::Scalar(_)) => {
+                        return Err(EvalError::Unbound(
+                            "binary op between two scalars reached the interpreter".into(),
+                        ))
+                    }
+                }
+            }
+            OpKind::MatMul => {
+                let l = get(&values, node.inputs[0]).as_matrix()?;
+                let r = get(&values, node.inputs[1]).as_matrix()?;
+                Value::Matrix(Arc::new(l.matmul(r)?))
+            }
+            OpKind::Transpose => {
+                let m = get(&values, node.inputs[0]).as_matrix()?;
+                Value::Matrix(Arc::new(m.transpose()?))
+            }
+            OpKind::FullAgg(op) => {
+                let m = get(&values, node.inputs[0]).as_matrix()?;
+                let v = m.agg(*op);
+                Value::Matrix(Arc::new(BlockedMatrix::from_dense_vec(
+                    1,
+                    1,
+                    m.meta().block_size,
+                    vec![v],
+                )?))
+            }
+            OpKind::RowAgg(op) => {
+                let m = get(&values, node.inputs[0]).as_matrix()?;
+                Value::Matrix(Arc::new(m.row_agg(*op)?))
+            }
+            OpKind::ColAgg(op) => {
+                let m = get(&values, node.inputs[0]).as_matrix()?;
+                Value::Matrix(Arc::new(m.col_agg(*op)?))
+            }
+        };
+        values[node.id] = Some(value);
+    }
+    Ok(values.into_iter().map(|v| v.expect("topo order")).collect())
+}
+
+fn get(values: &[Option<Value>], id: NodeId) -> &Value {
+    values[id].as_ref().expect("inputs evaluated before use")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+    use fuseme_matrix::{gen, AggOp, BinOp, MatrixMeta, UnaryOp};
+
+    fn bind(pairs: Vec<(&str, BlockedMatrix)>) -> Bindings {
+        pairs
+            .into_iter()
+            .map(|(n, m)| (n.to_string(), Arc::new(m)))
+            .collect()
+    }
+
+    #[test]
+    fn evaluates_nmf_style_query() {
+        // O = X * log(U × Vᵀ + eps)
+        let bs = 4;
+        let x = gen::sparse_uniform(12, 12, bs, 0.3, 1.0, 2.0, 1).unwrap();
+        let u = gen::dense_uniform(12, 6, bs, 0.1, 1.0, 2).unwrap();
+        let v = gen::dense_uniform(12, 6, bs, 0.1, 1.0, 3).unwrap();
+
+        let mut b = DagBuilder::new();
+        let xe = b.input("X", *x.meta());
+        let ue = b.input("U", *u.meta());
+        let ve = b.input("V", *v.meta());
+        let vt = b.transpose(ve);
+        let uv = b.matmul(ue, vt);
+        let eps = b.scalar(0.5);
+        let sum = b.binary(uv, eps, BinOp::Add);
+        let lg = b.unary(sum, UnaryOp::Log);
+        let o = b.binary(xe, lg, BinOp::Mul);
+        let dag = b.finish(vec![o]);
+
+        let expected = {
+            let uvt = u.matmul(&v.transpose().unwrap()).unwrap();
+            let lg = uvt.zip_scalar(0.5, BinOp::Add).unwrap().map(UnaryOp::Log).unwrap();
+            x.zip(&lg, BinOp::Mul).unwrap()
+        };
+        let out = evaluate(&dag, &bind(vec![("X", x), ("U", u), ("V", v)])).unwrap();
+        let m = out[0].as_matrix().unwrap();
+        assert!(m.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn full_agg_yields_scalar_matrix() {
+        let m = gen::dense_uniform(5, 5, 2, 0.0, 1.0, 4).unwrap();
+        let total: f64 = m.to_dense_vec().iter().sum();
+        let mut b = DagBuilder::new();
+        let x = b.input("X", *m.meta());
+        let s = b.full_agg(x, AggOp::Sum);
+        let dag = b.finish(vec![s]);
+        let out = evaluate(&dag, &bind(vec![("X", m)])).unwrap();
+        assert!((out[0].as_scalar().unwrap() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_binding_reported() {
+        let mut b = DagBuilder::new();
+        let x = b.input("X", MatrixMeta::dense(4, 4, 2));
+        let dag = b.finish(vec![x]);
+        let err = evaluate(&dag, &Bindings::new()).unwrap_err();
+        assert!(matches!(err, EvalError::Unbound(_)));
+    }
+
+    #[test]
+    fn multiple_roots_multi_aggregation() {
+        // (sum(U * X), sum(X * V)) — the paper's Multi-aggregation example.
+        let bs = 2;
+        let x = gen::dense_uniform(4, 4, bs, 0.0, 1.0, 5).unwrap();
+        let u = gen::dense_uniform(4, 4, bs, 0.0, 1.0, 6).unwrap();
+        let v = gen::dense_uniform(4, 4, bs, 0.0, 1.0, 7).unwrap();
+        let mut b = DagBuilder::new();
+        let xe = b.input("X", *x.meta());
+        let ue = b.input("U", *u.meta());
+        let ve = b.input("V", *v.meta());
+        let ux = b.binary(ue, xe, BinOp::Mul);
+        let xv = b.binary(xe, ve, BinOp::Mul);
+        let s1 = b.full_agg(ux, AggOp::Sum);
+        let s2 = b.full_agg(xv, AggOp::Sum);
+        let dag = b.finish(vec![s1, s2]);
+
+        let e1 = u.zip(&x, BinOp::Mul).unwrap().agg(AggOp::Sum);
+        let e2 = x.zip(&v, BinOp::Mul).unwrap().agg(AggOp::Sum);
+        let out = evaluate(&dag, &bind(vec![("X", x), ("U", u), ("V", v)])).unwrap();
+        assert!((out[0].as_scalar().unwrap() - e1).abs() < 1e-9);
+        assert!((out[1].as_scalar().unwrap() - e2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_fusion_pattern_pca() {
+        // (X × S)ᵀ × X — the paper's Row-fusion example from PCA.
+        let bs = 3;
+        let x = gen::dense_uniform(9, 6, bs, -1.0, 1.0, 8).unwrap();
+        let s = gen::dense_uniform(6, 3, bs, -1.0, 1.0, 9).unwrap();
+        let mut b = DagBuilder::new();
+        let xe = b.input("X", *x.meta());
+        let se = b.input("S", *s.meta());
+        let xs = b.matmul(xe, se);
+        let t = b.transpose(xs);
+        let out = b.matmul(t, xe);
+        let dag = b.finish(vec![out]);
+        let expected = x.matmul(&s).unwrap().transpose().unwrap().matmul(&x).unwrap();
+        let got = evaluate(&dag, &bind(vec![("X", x), ("S", s)])).unwrap();
+        assert!(got[0].as_matrix().unwrap().approx_eq(&expected, 1e-9));
+    }
+}

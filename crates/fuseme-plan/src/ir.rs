@@ -1,0 +1,145 @@
+//! Plan-node vocabulary.
+
+use fuseme_matrix::{AggOp, BinOp, MatrixMeta, UnaryOp};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node within one [`crate::QueryDag`]. Indices are dense
+/// (an arena), so side tables can be plain `Vec`s.
+pub type NodeId = usize;
+
+/// The operator (or leaf) a plan node represents.
+///
+/// This mirrors the paper's five basic operator types (§2.1):
+/// `Unary`/`Binary` are element-wise, `FullAgg`/`RowAgg`/`ColAgg` are unary
+/// aggregations, `MatMul` is the binary aggregation `ba(×)`, and `Transpose`
+/// is the reorganization `r(T)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Leaf: a named input matrix with declared metadata.
+    Input {
+        /// Binding name resolved at execution time.
+        name: String,
+    },
+    /// Leaf: a scalar literal (e.g. the `eps` in `U×Vᵀ + eps`).
+    Scalar(f64),
+    /// Element-wise unary operator `u(...)`.
+    Unary(UnaryOp),
+    /// Element-wise binary operator `b(...)`. Either input may be a scalar
+    /// node, in which case the scalar broadcasts.
+    Binary(BinOp),
+    /// Matrix multiplication `ba(×)`.
+    MatMul,
+    /// Transpose `r(T)`.
+    Transpose,
+    /// Full aggregation `ua(agg)` to a `1x1` matrix.
+    FullAgg(AggOp),
+    /// Row-wise aggregation (`rowSums` et al.) to an `n x 1` matrix.
+    RowAgg(AggOp),
+    /// Column-wise aggregation (`colSums` et al.) to a `1 x n` matrix.
+    ColAgg(AggOp),
+}
+
+impl OpKind {
+    /// `true` for leaves (inputs and scalar literals).
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, OpKind::Input { .. } | OpKind::Scalar(_))
+    }
+
+    /// `true` for the binary-aggregation operator (matrix multiplication).
+    pub fn is_matmul(&self) -> bool {
+        matches!(self, OpKind::MatMul)
+    }
+
+    /// `true` for unary aggregations, which in a distributed setting require
+    /// a shuffle when their input is partitioned (one of the paper's two
+    /// *termination operator* classes, §4.1).
+    pub fn is_unary_agg(&self) -> bool {
+        matches!(
+            self,
+            OpKind::FullAgg(_) | OpKind::RowAgg(_) | OpKind::ColAgg(_)
+        )
+    }
+
+    /// Short human-readable label used in plan dumps.
+    pub fn label(&self) -> String {
+        match self {
+            OpKind::Input { name } => name.clone(),
+            OpKind::Scalar(v) => format!("{v}"),
+            OpKind::Unary(op) => format!("u({})", op.name()),
+            OpKind::Binary(op) => format!("b({})", op.name()),
+            OpKind::MatMul => "ba(×)".to_string(),
+            OpKind::Transpose => "r(T)".to_string(),
+            OpKind::FullAgg(op) => format!("ua({})", op.name()),
+            OpKind::RowAgg(op) => format!("ua(row{})", op.name()),
+            OpKind::ColAgg(op) => format!("ua(col{})", op.name()),
+        }
+    }
+}
+
+/// One vertex of a query DAG: an operator plus its inputs and inferred
+/// metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// This node's id (equal to its arena index).
+    pub id: NodeId,
+    /// The operator or leaf.
+    pub kind: OpKind,
+    /// Input node ids, in operand order (left, right for binary ops).
+    pub inputs: Vec<NodeId>,
+    /// Inferred metadata of this node's output. Scalar nodes carry a `1x1`
+    /// dense meta so sizing code needs no special case.
+    pub meta: MatrixMeta,
+}
+
+impl Node {
+    /// `true` if this node's output is a scalar value rather than a matrix.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self.kind, OpKind::Scalar(_))
+    }
+}
+
+/// Estimated sparsity of a matrix product with inner (element) dimension
+/// `k`, given operand densities — the standard SystemML estimate
+/// `1 - (1 - d1*d2)^k` assuming independent non-zero placement.
+pub fn matmul_density(d1: f64, d2: f64, k: usize) -> f64 {
+    let p = (d1 * d2).clamp(0.0, 1.0);
+    if p == 0.0 {
+        return 0.0;
+    }
+    1.0 - (1.0 - p).powi(k.min(i32::MAX as usize) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opkind_classification() {
+        assert!(OpKind::Input { name: "X".into() }.is_leaf());
+        assert!(OpKind::Scalar(1.0).is_leaf());
+        assert!(OpKind::MatMul.is_matmul());
+        assert!(OpKind::FullAgg(AggOp::Sum).is_unary_agg());
+        assert!(OpKind::RowAgg(AggOp::Sum).is_unary_agg());
+        assert!(!OpKind::Binary(BinOp::Mul).is_unary_agg());
+        assert!(!OpKind::Binary(BinOp::Mul).is_leaf());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(OpKind::MatMul.label(), "ba(×)");
+        assert_eq!(OpKind::Binary(BinOp::Mul).label(), "b(*)");
+        assert_eq!(OpKind::Unary(UnaryOp::Log).label(), "u(log)");
+        assert_eq!(OpKind::ColAgg(AggOp::Sum).label(), "ua(colsum)");
+    }
+
+    #[test]
+    fn matmul_density_bounds() {
+        assert_eq!(matmul_density(0.0, 0.5, 100), 0.0);
+        assert!((matmul_density(1.0, 1.0, 10) - 1.0).abs() < 1e-12);
+        // Sparse × sparse stays sparse for small k.
+        let d = matmul_density(0.001, 0.001, 100);
+        assert!(d < 0.001);
+        // Density grows with k.
+        assert!(matmul_density(0.01, 0.01, 1000) > matmul_density(0.01, 0.01, 10));
+    }
+}

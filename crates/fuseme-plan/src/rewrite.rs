@@ -1,0 +1,249 @@
+//! Small algebraic cleanups applied before fusion planning.
+//!
+//! SystemML-style engines run dozens of rewrites; we implement the ones that
+//! matter for our workloads so the fusion planner sees canonical DAGs:
+//!
+//! * **double-transpose elimination** — `(Xᵀ)ᵀ → X`,
+//! * **identity-unary elimination** — `u(id)(X) → X`,
+//! * **scalar folding** — `b(op)(c1, c2)` over two literals becomes one
+//!   literal (the frontend can produce these).
+//!
+//! Rewrites preserve node ids' topological property by rebuilding the arena.
+
+use std::collections::HashMap;
+
+use crate::dag::QueryDag;
+use crate::ir::{Node, NodeId, OpKind};
+
+/// Applies all rewrites until fixpoint (at most a few passes in practice)
+/// and returns the cleaned DAG.
+pub fn rewrite(dag: &QueryDag) -> QueryDag {
+    let mut current = rebuild(dag, &compute_replacements(dag));
+    loop {
+        let repl = compute_replacements(&current);
+        if repl.is_empty() {
+            return current;
+        }
+        current = rebuild(&current, &repl);
+    }
+}
+
+/// Finds nodes whose uses should be redirected to another node or replaced
+/// by a folded scalar.
+fn compute_replacements(dag: &QueryDag) -> HashMap<NodeId, Replacement> {
+    let mut repl = HashMap::new();
+    for node in dag.nodes() {
+        match &node.kind {
+            OpKind::Transpose => {
+                let inner = dag.node(node.inputs[0]);
+                if matches!(inner.kind, OpKind::Transpose) {
+                    repl.insert(node.id, Replacement::Alias(inner.inputs[0]));
+                }
+            }
+            OpKind::Unary(op) if *op == fuseme_matrix::UnaryOp::Identity => {
+                repl.insert(node.id, Replacement::Alias(node.inputs[0]));
+            }
+            OpKind::Binary(op) => {
+                let l = dag.node(node.inputs[0]);
+                let r = dag.node(node.inputs[1]);
+                if let (OpKind::Scalar(a), OpKind::Scalar(b)) = (&l.kind, &r.kind) {
+                    repl.insert(node.id, Replacement::Scalar(op.apply(*a, *b)));
+                }
+            }
+            _ => {}
+        }
+    }
+    repl
+}
+
+enum Replacement {
+    /// Uses of this node become uses of another existing node.
+    Alias(NodeId),
+    /// This node becomes a scalar literal.
+    Scalar(f64),
+}
+
+/// Rebuilds the arena with replacements applied and dead nodes dropped.
+fn rebuild(dag: &QueryDag, repl: &HashMap<NodeId, Replacement>) -> QueryDag {
+    // Map old id -> resolved old id (following alias chains).
+    let resolve = |mut id: NodeId| -> NodeId {
+        let mut hops = 0;
+        while let Some(Replacement::Alias(target)) = repl.get(&id) {
+            id = *target;
+            hops += 1;
+            debug_assert!(hops <= dag.len(), "alias cycle");
+        }
+        id
+    };
+
+    // Liveness from roots, through resolved edges.
+    let mut live = vec![false; dag.len()];
+    let mut stack: Vec<NodeId> = dag.roots().iter().map(|&r| resolve(r)).collect();
+    while let Some(id) = stack.pop() {
+        if live[id] {
+            continue;
+        }
+        live[id] = true;
+        if matches!(repl.get(&id), Some(Replacement::Scalar(_))) {
+            continue; // becomes a leaf; inputs die
+        }
+        for &input in &dag.node(id).inputs {
+            stack.push(resolve(input));
+        }
+    }
+
+    let mut new_ids: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut nodes = Vec::new();
+    for old in dag.nodes() {
+        let id = old.id;
+        if !live[id] {
+            continue;
+        }
+        let new_id = nodes.len();
+        let (kind, inputs) = match repl.get(&id) {
+            Some(Replacement::Scalar(v)) => (OpKind::Scalar(*v), Vec::new()),
+            _ => (
+                old.kind.clone(),
+                old.inputs
+                    .iter()
+                    .map(|&i| new_ids[&resolve(i)])
+                    .collect(),
+            ),
+        };
+        nodes.push(Node {
+            id: new_id,
+            kind,
+            inputs,
+            meta: old.meta,
+        });
+        new_ids.insert(id, new_id);
+    }
+    let roots = dag.roots().iter().map(|&r| new_ids[&resolve(r)]).collect();
+    QueryDag::new(nodes, roots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+    use fuseme_matrix::{BinOp, MatrixMeta, UnaryOp};
+
+    fn m() -> MatrixMeta {
+        MatrixMeta::dense(8, 8, 4)
+    }
+
+    #[test]
+    fn double_transpose_eliminated() {
+        let mut b = DagBuilder::new();
+        let x = b.input("X", m());
+        let t1 = b.transpose(x);
+        let t2 = b.transpose(t1);
+        let sq = b.unary(t2, UnaryOp::Square);
+        let dag = b.finish(vec![sq]);
+        let out = rewrite(&dag);
+        out.validate().unwrap();
+        assert!(
+            !out.nodes().iter().any(|n| matches!(n.kind, OpKind::Transpose)),
+            "transposes should be gone:\n{out}"
+        );
+        assert_eq!(out.len(), 2); // X, u(^2)
+    }
+
+    #[test]
+    fn single_transpose_kept() {
+        let mut b = DagBuilder::new();
+        let x = b.input("X", m());
+        let t = b.transpose(x);
+        let dag = b.finish(vec![t]);
+        let out = rewrite(&dag);
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out.node(out.roots()[0]).kind, OpKind::Transpose));
+    }
+
+    #[test]
+    fn quadruple_transpose_fully_collapses() {
+        let mut b = DagBuilder::new();
+        let x = b.input("X", m());
+        let mut t = x;
+        for _ in 0..4 {
+            t = b.transpose(t);
+        }
+        let dag = b.finish(vec![t]);
+        let out = rewrite(&dag);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(&out.node(0).kind, OpKind::Input { .. }));
+    }
+
+    #[test]
+    fn identity_unary_removed() {
+        let mut b = DagBuilder::new();
+        let x = b.input("X", m());
+        let id = b.unary(x, UnaryOp::Identity);
+        let sq = b.unary(id, UnaryOp::Square);
+        let dag = b.finish(vec![sq]);
+        let out = rewrite(&dag);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn scalar_folding() {
+        let mut b = DagBuilder::new();
+        let x = b.input("X", m());
+        let two = b.scalar(2.0);
+        let three = b.scalar(3.0);
+        // Construct b(+) over two scalars by hand via try path bypass: the
+        // builder rejects it, so emulate what a frontend lowering might emit.
+        let mut nodes: Vec<Node> = Vec::new();
+        let dag0 = b.finish(vec![x]);
+        nodes.extend_from_slice(dag0.nodes());
+        let six_id = nodes.len();
+        nodes.push(Node {
+            id: six_id,
+            kind: OpKind::Binary(BinOp::Mul),
+            inputs: vec![two.id(), three.id()],
+            meta: MatrixMeta::dense(1, 1, 4),
+        });
+        let out_id = nodes.len();
+        nodes.push(Node {
+            id: out_id,
+            kind: OpKind::Binary(BinOp::Add),
+            inputs: vec![x.id(), six_id],
+            meta: dag0.node(x.id()).meta,
+        });
+        let dag = QueryDag::new(nodes, vec![out_id]);
+        let out = rewrite(&dag);
+        out.validate().unwrap();
+        // The folded scalar 6.0 must appear; the original literals are dead.
+        let scalars: Vec<f64> = out
+            .nodes()
+            .iter()
+            .filter_map(|n| match n.kind {
+                OpKind::Scalar(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(scalars, vec![6.0]);
+    }
+
+    #[test]
+    fn rewrite_preserves_semantics() {
+        use crate::interp::{evaluate, Bindings};
+        use fuseme_matrix::gen;
+        use std::sync::Arc;
+        let x = gen::dense_uniform(8, 8, 4, -1.0, 1.0, 17).unwrap();
+        let mut b = DagBuilder::new();
+        let xe = b.input("X", *x.meta());
+        let t1 = b.transpose(xe);
+        let t2 = b.transpose(t1);
+        let sq = b.unary(t2, UnaryOp::Square);
+        let dag = b.finish(vec![sq]);
+        let clean = rewrite(&dag);
+        let binds: Bindings = [("X".to_string(), Arc::new(x))].into_iter().collect();
+        let a = evaluate(&dag, &binds).unwrap();
+        let bv = evaluate(&clean, &binds).unwrap();
+        assert!(a[0]
+            .as_matrix()
+            .unwrap()
+            .approx_eq(bv[0].as_matrix().unwrap(), 0.0));
+    }
+}

@@ -1,0 +1,284 @@
+//! Wave-based parallel stage executor.
+
+use crossbeam::channel;
+
+use crate::cluster::Cluster;
+use crate::ledger::Phase;
+use crate::time::TaskCost;
+use crate::SimError;
+
+/// One simulated task: declared resource usage plus the real computation to
+/// run. `task_id` orders tasks into scheduling waves; ids are dense within a
+/// stage.
+pub struct TaskWork<'a, T> {
+    /// Dense task index within the stage.
+    pub task_id: usize,
+    /// Bytes this task receives over the simulated network (charged to the
+    /// stage's ledger phase and used for simulated time).
+    pub recv_bytes: u64,
+    /// Declared peak memory of the task (inputs + outputs + scratch);
+    /// checked against the cluster budget θ_t *before* anything runs.
+    pub mem_bytes: u64,
+    /// Floating-point operations the task will execute (analytic estimate;
+    /// used for simulated time).
+    pub flops: u64,
+    /// The actual computation.
+    pub job: Box<dyn FnOnce() -> Result<T, SimError> + Send + 'a>,
+}
+
+/// Result of a stage: task outputs in task order plus the stage's simulated
+/// duration.
+#[derive(Debug)]
+pub struct StageOutcome<T> {
+    /// Output of each task, indexed by `task_id`.
+    pub outputs: Vec<T>,
+    /// Simulated seconds this stage took.
+    pub sim_secs: f64,
+}
+
+/// Runs one stage of tasks against the cluster.
+///
+/// Order of effects matches a real run's failure modes:
+/// 1. memory admission — any task over θ_t aborts with `OutOfMemory`
+///    *before* traffic or time is charged (Spark would fail at task start);
+/// 2. ledger charge for all `recv_bytes` under `phase`;
+/// 3. simulated-time accounting in waves of `N·T_c` slots, then the timeout
+///    check — a timed-out stage never executes its kernels, keeping
+///    simulations of hopeless configurations cheap;
+/// 4. real execution on a thread pool; outputs are reassembled in task
+///    order, so downstream code is deterministic.
+pub fn run_stage<'a, T: Send>(
+    cluster: &Cluster,
+    phase: Phase,
+    mut tasks: Vec<TaskWork<'a, T>>,
+) -> Result<StageOutcome<T>, SimError> {
+    let config = *cluster.config();
+    tasks.sort_by_key(|t| t.task_id);
+
+    // 1. Memory admission.
+    for t in &tasks {
+        if t.mem_bytes > config.mem_per_task {
+            return Err(SimError::OutOfMemory {
+                task: t.task_id,
+                needed: t.mem_bytes,
+                budget: config.mem_per_task,
+            });
+        }
+    }
+
+    // 2. Network charges.
+    let total_bytes: u64 = tasks.iter().map(|t| t.recv_bytes).sum();
+    cluster.ledger().charge(phase, total_bytes);
+
+    // 3. Simulated time + timeout.
+    let costs: Vec<TaskCost> = tasks
+        .iter()
+        .map(|t| TaskCost {
+            recv_bytes: t.recv_bytes,
+            flops: t.flops,
+        })
+        .collect();
+    let sim_secs = {
+        let mut clock = cluster.clock().lock();
+        clock.advance(config.stage_overhead_secs);
+        let stage = clock.advance_stage(
+            &costs,
+            config.total_tasks(),
+            config.task_net_bandwidth(),
+            config.task_compute_bandwidth(),
+        );
+        let elapsed = clock.elapsed_secs();
+        if elapsed > config.timeout_secs {
+            return Err(SimError::Timeout {
+                elapsed,
+                cap: config.timeout_secs,
+            });
+        }
+        if std::env::var_os("FUSEME_SIM_DEBUG").is_some() {
+            let max_bytes = costs.iter().map(|c| c.recv_bytes).max().unwrap_or(0);
+            let max_flops = costs.iter().map(|c| c.flops).max().unwrap_or(0);
+            eprintln!(
+                "[sim] stage {:>8.2}s tasks {:>5} max_bytes {:>10} max_flops {:>12}",
+                stage,
+                costs.len(),
+                max_bytes,
+                max_flops
+            );
+        }
+        stage + config.stage_overhead_secs
+    };
+
+    // 4. Real execution.
+    let n = tasks.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    let (job_tx, job_rx) = channel::unbounded();
+    for (idx, t) in tasks.into_iter().enumerate() {
+        job_tx.send((idx, t.job)).expect("unbounded send");
+    }
+    drop(job_tx);
+
+    let mut outputs: Vec<Option<T>> = Vec::with_capacity(n);
+    outputs.resize_with(n, || None);
+    let mut first_err: Option<SimError> = None;
+    crossbeam::thread::scope(|s| {
+        let (res_tx, res_rx) = channel::unbounded();
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            s.spawn(move |_| {
+                while let Ok((idx, job)) = job_rx.recv() {
+                    let result = job();
+                    if res_tx.send((idx, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        while let Ok((idx, result)) = res_rx.recv() {
+            match result {
+                Ok(v) => outputs[idx] = Some(v),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+    })
+    .expect("worker panicked");
+
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let outputs = outputs
+        .into_iter()
+        .map(|o| o.expect("every task produced output"))
+        .collect();
+    Ok(StageOutcome { outputs, sim_secs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+
+    fn work(id: usize, bytes: u64, mem: u64, out: i32) -> TaskWork<'static, i32> {
+        TaskWork {
+            task_id: id,
+            recv_bytes: bytes,
+            mem_bytes: mem,
+            flops: 0,
+            job: Box::new(move || Ok(out)),
+        }
+    }
+
+    #[test]
+    fn outputs_in_task_order() {
+        let cluster = Cluster::new(ClusterConfig::test_small());
+        let tasks = (0..16).rev().map(|i| work(i, 1, 1, i as i32)).collect();
+        let out = run_stage(&cluster, Phase::Consolidation, tasks).unwrap();
+        assert_eq!(out.outputs, (0..16).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn ledger_charged_total() {
+        let cluster = Cluster::new(ClusterConfig::test_small());
+        let tasks = (0..4).map(|i| work(i, 100, 1, 0)).collect();
+        run_stage(&cluster, Phase::Aggregation, tasks).unwrap();
+        assert_eq!(cluster.comm().aggregation_bytes, 400);
+        assert_eq!(cluster.comm().consolidation_bytes, 0);
+    }
+
+    #[test]
+    fn oom_rejected_before_execution() {
+        let cluster = Cluster::new(ClusterConfig::test_small());
+        let budget = cluster.config().mem_per_task;
+        let ran = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = std::sync::Arc::clone(&ran);
+        let tasks = vec![TaskWork::<i32> {
+            task_id: 0,
+            recv_bytes: 5,
+            mem_bytes: budget + 1,
+            flops: 0,
+            job: Box::new(move || {
+                flag.store(true, std::sync::atomic::Ordering::SeqCst);
+                Ok(0)
+            }),
+        }];
+        let err = run_stage(&cluster, Phase::Consolidation, tasks).unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { needed, .. } if needed == budget + 1));
+        assert!(!ran.load(std::sync::atomic::Ordering::SeqCst));
+        // No traffic charged for an admission-failed stage.
+        assert_eq!(cluster.comm().total(), 0);
+    }
+
+    #[test]
+    fn timeout_detected() {
+        let mut cfg = ClusterConfig::test_small();
+        cfg.timeout_secs = 1.0;
+        cfg.net_bandwidth = 1.0; // 1 byte/sec per node
+        let cluster = Cluster::new(cfg);
+        let err = run_stage(&cluster, Phase::Consolidation, vec![work(0, 1000, 1, 0)])
+            .unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }));
+    }
+
+    #[test]
+    fn task_error_propagates() {
+        let cluster = Cluster::new(ClusterConfig::test_small());
+        let tasks = vec![
+            work(0, 0, 0, 1),
+            TaskWork {
+                task_id: 1,
+                recv_bytes: 0,
+                mem_bytes: 0,
+                flops: 0,
+                job: Box::new(|| Err(SimError::Task("kernel exploded".into()))),
+            },
+        ];
+        let err = run_stage(&cluster, Phase::Consolidation, tasks).unwrap_err();
+        assert!(matches!(err, SimError::Task(_)));
+    }
+
+    #[test]
+    fn sim_time_advances_with_waves() {
+        let mut cfg = ClusterConfig::test_small();
+        cfg.nodes = 1;
+        cfg.tasks_per_node = 2; // 2 slots
+        cfg.net_bandwidth = 100.0;
+        cfg.compute_bandwidth = 1e12;
+        let cluster = Cluster::new(cfg);
+        // 4 tasks, 100 bytes each, per-task bw = 50 B/s → each task 2s;
+        // 2 waves → 4s.
+        let tasks = (0..4).map(|i| work(i, 100, 1, 0)).collect();
+        let out = run_stage(&cluster, Phase::Consolidation, tasks).unwrap();
+        assert!((out.sim_secs - 4.0).abs() < 1e-9);
+        assert!((cluster.elapsed_secs() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn real_parallel_execution_happens() {
+        let cluster = Cluster::new(ClusterConfig::test_small());
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let tasks: Vec<TaskWork<usize>> = (0..32)
+            .map(|i| {
+                let c = std::sync::Arc::clone(&counter);
+                TaskWork {
+                    task_id: i,
+                    recv_bytes: 0,
+                    mem_bytes: 0,
+                    flops: 0,
+                    job: Box::new(move || {
+                        Ok(c.fetch_add(1, std::sync::atomic::Ordering::SeqCst))
+                    }),
+                }
+            })
+            .collect();
+        run_stage(&cluster, Phase::Consolidation, tasks).unwrap();
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 32);
+    }
+}

@@ -1,0 +1,134 @@
+//! Communication accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// The two network phases of a distributed fused operator (paper §2.2):
+/// consolidation moves input blocks to tasks, aggregation shuffles partial
+/// results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Matrix consolidation: repartition / broadcast / replication of
+    /// inputs.
+    Consolidation,
+    /// Matrix aggregation: shuffle of intermediate blocks along the k-axis.
+    Aggregation,
+}
+
+/// Thread-safe byte counter for simulated network traffic.
+///
+/// Charges are monotone; `snapshot` minus an earlier snapshot gives the
+/// traffic of one operator or one workload iteration (Fig. 14(d)/(h) report
+/// exactly that).
+#[derive(Debug, Default)]
+pub struct CommLedger {
+    consolidation: AtomicU64,
+    aggregation: AtomicU64,
+}
+
+/// A point-in-time copy of ledger totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Bytes moved in consolidation steps.
+    pub consolidation_bytes: u64,
+    /// Bytes moved in aggregation steps.
+    pub aggregation_bytes: u64,
+}
+
+impl CommStats {
+    /// Total bytes across both phases.
+    pub fn total(&self) -> u64 {
+        self.consolidation_bytes + self.aggregation_bytes
+    }
+
+    /// Difference against an earlier snapshot.
+    pub fn since(&self, earlier: &CommStats) -> CommStats {
+        CommStats {
+            consolidation_bytes: self.consolidation_bytes - earlier.consolidation_bytes,
+            aggregation_bytes: self.aggregation_bytes - earlier.aggregation_bytes,
+        }
+    }
+}
+
+impl CommLedger {
+    /// Creates a zeroed ledger.
+    pub fn new() -> Self {
+        CommLedger::default()
+    }
+
+    /// Records `bytes` of traffic in the given phase.
+    pub fn charge(&self, phase: Phase, bytes: u64) {
+        match phase {
+            Phase::Consolidation => self.consolidation.fetch_add(bytes, Ordering::Relaxed),
+            Phase::Aggregation => self.aggregation.fetch_add(bytes, Ordering::Relaxed),
+        };
+    }
+
+    /// Current totals.
+    pub fn snapshot(&self) -> CommStats {
+        CommStats {
+            consolidation_bytes: self.consolidation.load(Ordering::Relaxed),
+            aggregation_bytes: self.aggregation.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&self) {
+        self.consolidation.store(0, Ordering::Relaxed);
+        self.aggregation.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_by_phase() {
+        let l = CommLedger::new();
+        l.charge(Phase::Consolidation, 100);
+        l.charge(Phase::Consolidation, 50);
+        l.charge(Phase::Aggregation, 7);
+        let s = l.snapshot();
+        assert_eq!(s.consolidation_bytes, 150);
+        assert_eq!(s.aggregation_bytes, 7);
+        assert_eq!(s.total(), 157);
+    }
+
+    #[test]
+    fn since_computes_delta() {
+        let l = CommLedger::new();
+        l.charge(Phase::Consolidation, 10);
+        let before = l.snapshot();
+        l.charge(Phase::Consolidation, 5);
+        l.charge(Phase::Aggregation, 3);
+        let delta = l.snapshot().since(&before);
+        assert_eq!(delta.consolidation_bytes, 5);
+        assert_eq!(delta.aggregation_bytes, 3);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let l = CommLedger::new();
+        l.charge(Phase::Aggregation, 9);
+        l.reset();
+        assert_eq!(l.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn concurrent_charges() {
+        let l = std::sync::Arc::new(CommLedger::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let l = std::sync::Arc::clone(&l);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        l.charge(Phase::Consolidation, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(l.snapshot().consolidation_bytes, 8000);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the runtime simulator: scheduling-time laws,
+//! ledger conservation, and admission-order guarantees.
+
+use proptest::prelude::*;
+
+use fuseme_sim::executor::run_stage;
+use fuseme_sim::time::TaskCost;
+use fuseme_sim::{Cluster, ClusterConfig, Phase, SimClock, TaskWork};
+
+fn config(slots: usize) -> ClusterConfig {
+    let mut cc = ClusterConfig::test_small();
+    cc.nodes = 1;
+    cc.tasks_per_node = slots;
+    cc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Wave scheduling: more slots never increases stage time, and stage
+    /// time is bounded below by the slowest single task and above by the
+    /// serial sum.
+    #[test]
+    fn wave_time_laws(
+        tasks in proptest::collection::vec((0u64..10_000, 0u64..10_000), 1..40),
+        slots_a in 1usize..8,
+        extra in 1usize..8,
+    ) {
+        let costs: Vec<TaskCost> = tasks
+            .iter()
+            .map(|&(b, f)| TaskCost { recv_bytes: b, flops: f })
+            .collect();
+        let (bw, fl) = (100.0, 100.0);
+        let time = |slots: usize| {
+            let mut clock = SimClock::new();
+            clock.advance_stage(&costs, slots, bw, fl)
+        };
+        let narrow = time(slots_a);
+        let wide = time(slots_a + extra);
+        prop_assert!(wide <= narrow + 1e-9, "more slots slower: {wide} > {narrow}");
+        let slowest = costs
+            .iter()
+            .map(|c| (c.recv_bytes as f64 / bw).max(c.flops as f64 / fl))
+            .fold(0.0f64, f64::max);
+        let serial: f64 = costs
+            .iter()
+            .map(|c| (c.recv_bytes as f64 / bw).max(c.flops as f64 / fl))
+            .sum();
+        prop_assert!(narrow + 1e-9 >= slowest);
+        prop_assert!(narrow <= serial + 1e-9);
+    }
+
+    /// The ledger always records exactly the sum of task receive bytes,
+    /// in the stage's phase.
+    #[test]
+    fn ledger_records_exact_bytes(
+        bytes in proptest::collection::vec(0u64..100_000, 1..30),
+        agg_phase in proptest::bool::ANY,
+    ) {
+        let cluster = Cluster::new(config(4));
+        let phase = if agg_phase { Phase::Aggregation } else { Phase::Consolidation };
+        let total: u64 = bytes.iter().sum();
+        let tasks: Vec<TaskWork<'_, usize>> = bytes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| TaskWork {
+                task_id: i,
+                recv_bytes: b,
+                mem_bytes: 0,
+                flops: 0,
+                job: Box::new(move || Ok(i)),
+            })
+            .collect();
+        let out = run_stage(&cluster, phase, tasks).unwrap();
+        prop_assert_eq!(out.outputs, (0..bytes.len()).collect::<Vec<_>>());
+        let stats = cluster.comm();
+        let (hit, miss) = if agg_phase {
+            (stats.aggregation_bytes, stats.consolidation_bytes)
+        } else {
+            (stats.consolidation_bytes, stats.aggregation_bytes)
+        };
+        prop_assert_eq!(hit, total);
+        prop_assert_eq!(miss, 0);
+    }
+
+    /// Admission control fires before any side effect: if any task exceeds
+    /// the budget, nothing is charged and nothing runs.
+    #[test]
+    fn oom_has_no_side_effects(
+        mems in proptest::collection::vec(0u64..100, 1..20),
+        victim in 0usize..20,
+    ) {
+        let cluster = Cluster::new(config(4));
+        let budget = cluster.config().mem_per_task;
+        let victim = victim % mems.len();
+        let ran = std::sync::atomic::AtomicUsize::new(0);
+        let tasks: Vec<TaskWork<'_, ()>> = mems
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| TaskWork {
+                task_id: i,
+                recv_bytes: 7,
+                mem_bytes: if i == victim { budget + 1 } else { m },
+                flops: 0,
+                job: Box::new(|| {
+                    ran.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    Ok(())
+                }),
+            })
+            .collect();
+        let err = run_stage(&cluster, Phase::Consolidation, tasks).unwrap_err();
+        let is_oom = matches!(err, fuseme_sim::SimError::OutOfMemory { .. });
+        prop_assert!(is_oom);
+        prop_assert_eq!(cluster.comm().total(), 0);
+        prop_assert_eq!(ran.load(std::sync::atomic::Ordering::SeqCst), 0);
+        prop_assert_eq!(cluster.elapsed_secs(), 0.0);
+    }
+
+    /// Simulated time is additive across stages and independent of task
+    /// submission order.
+    #[test]
+    fn stage_time_order_independent(
+        tasks in proptest::collection::vec((0u64..10_000, 0u64..10_000), 2..20),
+    ) {
+        let run_order = |rev: bool| {
+            let cluster = Cluster::new(config(3));
+            let mut work: Vec<TaskWork<'_, ()>> = tasks
+                .iter()
+                .enumerate()
+                .map(|(i, &(b, f))| TaskWork {
+                    task_id: i,
+                    recv_bytes: b,
+                    mem_bytes: 0,
+                    flops: f,
+                    job: Box::new(|| Ok(())),
+                })
+                .collect();
+            if rev {
+                work.reverse();
+            }
+            run_stage(&cluster, Phase::Consolidation, work).unwrap();
+            cluster.elapsed_secs()
+        };
+        let fwd = run_order(false);
+        let rev = run_order(true);
+        prop_assert!((fwd - rev).abs() < 1e-12);
+    }
+}

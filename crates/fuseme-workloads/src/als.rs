@@ -1,0 +1,145 @@
+//! ALS-style loss expressions (paper Fig. 1(a) and §2.1's Outer template).
+//!
+//! Alternating Least Squares factorizes a sparse rating matrix; its
+//! *weighted squared loss* `sum((X ≠ 0) * (X − U × V)²)` is the paper's
+//! motivating fusion example: the sparse `X` gates which cells of the dense
+//! product `U × V` are ever needed.
+
+
+use fuseme::session::{Session, SessionError};
+use fuseme_matrix::gen;
+
+/// A configured ALS loss instance: `X` is `rows × cols`, factors are
+/// `rows × k` and `k × cols`.
+#[derive(Debug, Clone, Copy)]
+pub struct AlsLoss {
+    /// Rows of `X`.
+    pub rows: usize,
+    /// Columns of `X`.
+    pub cols: usize,
+    /// Factor dimension.
+    pub k: usize,
+    /// Block edge.
+    pub block_size: usize,
+    /// Density of `X`.
+    pub density: f64,
+}
+
+impl AlsLoss {
+    /// The weighted-squared-loss script (Fig. 1(a)).
+    pub fn loss_script() -> &'static str {
+        "loss = sum((X != 0) * (X - U %*% V) ^ 2)"
+    }
+
+    /// Top-N-style prediction scores for unseen cells:
+    /// `P = (U × V) * (1 - (X != 0))` — the complement gate keeps only
+    /// unrated cells.
+    pub fn prediction_script() -> &'static str {
+        "P = (U %*% V) * (1 - (X != 0))"
+    }
+
+    /// Binds `X`, `U`, `V`.
+    pub fn bind_inputs(&self, session: &mut Session, seed: u64) -> Result<(), SessionError> {
+        let x = gen::ratings(self.rows, self.cols, self.block_size, self.density, seed)
+            .map_err(|e| SessionError::Data(e.to_string()))?;
+        let u = gen::dense_uniform(self.rows, self.k, self.block_size, 0.0, 1.0, seed + 1)
+            .map_err(|e| SessionError::Data(e.to_string()))?;
+        let v = gen::dense_uniform(self.k, self.cols, self.block_size, 0.0, 1.0, seed + 2)
+            .map_err(|e| SessionError::Data(e.to_string()))?;
+        session.bind("X", x);
+        session.bind("U", u);
+        session.bind("V", v);
+        Ok(())
+    }
+
+    /// Evaluates the loss.
+    pub fn loss(&self, session: &mut Session) -> Result<f64, SessionError> {
+        let report = session.run_script(Self::loss_script())?;
+        report.outputs[0]
+            .get(0, 0)
+            .map_err(|e| SessionError::Data(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuseme::prelude::*;
+    #[allow(unused_imports)]
+    use std::sync::Arc;
+
+    fn instance() -> AlsLoss {
+        AlsLoss {
+            rows: 40,
+            cols: 40,
+            k: 8,
+            block_size: 8,
+            density: 0.1,
+        }
+    }
+
+    fn session() -> Session {
+        let mut cc = ClusterConfig::test_small();
+        cc.mem_per_task = 256 << 20;
+        Session::new(Engine::fuseme(cc))
+    }
+
+    #[test]
+    fn loss_matches_manual_computation() {
+        let a = instance();
+        let mut s = session();
+        a.bind_inputs(&mut s, 3).unwrap();
+        let loss = a.loss(&mut s).unwrap();
+        // Manual: iterate X's non-zeros.
+        let x = Arc::clone(s.matrix("X").unwrap());
+        let u = Arc::clone(s.matrix("U").unwrap());
+        let v = Arc::clone(s.matrix("V").unwrap());
+        let uv = u.matmul(&v).unwrap();
+        let mut expected = 0.0;
+        for r in 0..40 {
+            for c in 0..40 {
+                let xv = x.get(r, c).unwrap();
+                if xv != 0.0 {
+                    let d = xv - uv.get(r, c).unwrap();
+                    expected += d * d;
+                }
+            }
+        }
+        assert!(
+            (loss - expected).abs() < 1e-9 * expected.max(1.0),
+            "{loss} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn loss_is_zero_for_exact_factorization() {
+        let mut s = session();
+        // X = U × V exactly, with the gate covering all cells.
+        let u = gen::dense_uniform(20, 4, 10, 0.5, 1.0, 1).unwrap();
+        let v = gen::dense_uniform(4, 20, 10, 0.5, 1.0, 2).unwrap();
+        let x = u.matmul(&v).unwrap();
+        s.bind("X", x);
+        s.bind("U", u);
+        s.bind("V", v);
+        let report = s.run_script(AlsLoss::loss_script()).unwrap();
+        let loss = report.outputs[0].get(0, 0).unwrap();
+        assert!(loss.abs() < 1e-12, "loss {loss}");
+    }
+
+    #[test]
+    fn prediction_gates_out_rated_cells() {
+        let a = instance();
+        let mut s = session();
+        a.bind_inputs(&mut s, 5).unwrap();
+        let report = s.run_script(AlsLoss::prediction_script()).unwrap();
+        let p = &report.outputs[0];
+        let x = s.matrix("X").unwrap();
+        for r in 0..40 {
+            for c in 0..40 {
+                if x.get(r, c).unwrap() != 0.0 {
+                    assert_eq!(p.get(r, c).unwrap(), 0.0, "rated cell ({r},{c}) leaked");
+                }
+            }
+        }
+    }
+}

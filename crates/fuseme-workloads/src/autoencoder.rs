@@ -1,0 +1,211 @@
+//! The two-layer AutoEncoder workload (paper §6.5, Fig. 15).
+//!
+//! Architecture follows SystemDS's `autoencoder_2layer.dml`: an encoder
+//! with two fully-connected sigmoid layers (`W1: h1 × features`,
+//! `W2: h2 × h1`) and a mirrored decoder (`W3: h1 × h2`,
+//! `W4: features × h1`). One training *step* is a full forward + backward
+//! pass over a batch plus a gradient update of all four weights; one
+//! *epoch* is `⌈inputs / batch⌉` steps.
+//!
+//! The whole step is expressed as one matrix query (a DAG with eight
+//! multiplications), which is exactly the kind of computation where fusion
+//! and cuboid partitioning pay off.
+
+use fuseme::session::{Session, SessionError};
+use fuseme_matrix::gen;
+
+/// A configured autoencoder instance.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoEncoder {
+    /// Number of input rows in the dataset (`n` of Fig. 15's `n × n`).
+    pub inputs: usize,
+    /// Feature width of each input row.
+    pub features: usize,
+    /// First hidden layer width.
+    pub h1: usize,
+    /// Second hidden layer width.
+    pub h2: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Block edge.
+    pub block_size: usize,
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl AutoEncoder {
+    /// Steps per epoch: `⌈inputs / batch⌉`.
+    pub fn steps_per_epoch(&self) -> usize {
+        self.inputs.div_ceil(self.batch)
+    }
+
+    /// One training step as a script: forward, squared-error loss,
+    /// backward, SGD update. Outputs the updated weights and the loss.
+    pub fn step_script(&self) -> String {
+        format!(
+            "H1 = sigmoid(B %*% t(W1))\n\
+             H2 = sigmoid(H1 %*% t(W2))\n\
+             H3 = sigmoid(H2 %*% t(W3))\n\
+             Out = H3 %*% t(W4)\n\
+             E = Out - B\n\
+             loss = sum(E ^ 2)\n\
+             dOut = E * 2\n\
+             gW4 = t(dOut) %*% H3\n\
+             dH3 = (dOut %*% W4) * H3 * (1 - H3)\n\
+             gW3 = t(dH3) %*% H2\n\
+             dH2 = (dH3 %*% W3) * H2 * (1 - H2)\n\
+             gW2 = t(dH2) %*% H1\n\
+             dH1 = (dH2 %*% W2) * H1 * (1 - H1)\n\
+             gW1 = t(dH1) %*% B\n\
+             W1n = W1 - gW1 * {lr}\n\
+             W2n = W2 - gW2 * {lr}\n\
+             W3n = W3 - gW3 * {lr}\n\
+             W4n = W4 - gW4 * {lr}\n\
+             output W1n, W2n, W3n, W4n, loss",
+            lr = self.lr / self.batch as f64
+        )
+    }
+
+    /// Binds a batch `B` and randomly initialized weights.
+    pub fn bind_inputs(&self, session: &mut Session, seed: u64) -> Result<(), SessionError> {
+        let scale = 0.1;
+        let bind_dense = |session: &mut Session,
+                          name: &str,
+                          rows: usize,
+                          cols: usize,
+                          seed: u64|
+         -> Result<(), SessionError> {
+            let m = gen::dense_uniform(rows, cols, self.block_size, -scale, scale, seed)
+                .map_err(|e| SessionError::Data(e.to_string()))?;
+            session.bind(name, m);
+            Ok(())
+        };
+        let b = gen::dense_uniform(
+            self.batch,
+            self.features,
+            self.block_size,
+            0.0,
+            1.0,
+            seed,
+        )
+        .map_err(|e| SessionError::Data(e.to_string()))?;
+        session.bind("B", b);
+        bind_dense(session, "W1", self.h1, self.features, seed + 1)?;
+        bind_dense(session, "W2", self.h2, self.h1, seed + 2)?;
+        bind_dense(session, "W3", self.h1, self.h2, seed + 3)?;
+        bind_dense(session, "W4", self.features, self.h1, seed + 4)?;
+        Ok(())
+    }
+
+    /// Runs one step, rebinding the updated weights; returns the loss.
+    pub fn step(&self, session: &mut Session) -> Result<f64, SessionError> {
+        let script = self.step_script();
+        let report = session.run_and_rebind(
+            &script,
+            &[("W1", 0), ("W2", 1), ("W3", 2), ("W4", 3)],
+        )?;
+        report.outputs[4]
+            .get(0, 0)
+            .map_err(|e| SessionError::Data(e.to_string()))
+    }
+
+    /// Simulated seconds for one epoch: measures one step and multiplies by
+    /// the step count (batches are i.i.d. in cost), as the harness does for
+    /// Fig. 15.
+    pub fn epoch_sim_secs(&self, session: &mut Session) -> Result<f64, SessionError> {
+        let script = self.step_script();
+        let before = session.engine().cluster().elapsed_secs();
+        session.run_and_rebind(&script, &[("W1", 0), ("W2", 1), ("W3", 2), ("W4", 3)])?;
+        let one_step = session.engine().cluster().elapsed_secs() - before;
+        Ok(one_step * self.steps_per_epoch() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuseme::prelude::*;
+    #[allow(unused_imports)]
+    use std::sync::Arc;
+
+    fn tiny() -> AutoEncoder {
+        AutoEncoder {
+            inputs: 64,
+            features: 24,
+            h1: 12,
+            h2: 4,
+            batch: 16,
+            block_size: 4,
+            lr: 0.5,
+        }
+    }
+
+    fn session() -> Session {
+        let mut cc = ClusterConfig::test_small();
+        cc.mem_per_task = 256 << 20;
+        Session::new(Engine::fuseme(cc))
+    }
+
+    #[test]
+    fn steps_per_epoch_rounds_up() {
+        let mut ae = tiny();
+        assert_eq!(ae.steps_per_epoch(), 4);
+        ae.batch = 60;
+        assert_eq!(ae.steps_per_epoch(), 2);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let ae = tiny();
+        let mut s = session();
+        ae.bind_inputs(&mut s, 3).unwrap();
+        let first = ae.step(&mut s).unwrap();
+        let mut last = first;
+        for _ in 0..5 {
+            last = ae.step(&mut s).unwrap();
+        }
+        assert!(
+            last < first,
+            "loss must decrease on a fixed batch: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn weight_shapes_preserved_by_update() {
+        let ae = tiny();
+        let mut s = session();
+        ae.bind_inputs(&mut s, 4).unwrap();
+        ae.step(&mut s).unwrap();
+        assert_eq!(s.matrix("W1").unwrap().shape(), Shape::new(12, 24));
+        assert_eq!(s.matrix("W2").unwrap().shape(), Shape::new(4, 12));
+        assert_eq!(s.matrix("W3").unwrap().shape(), Shape::new(12, 4));
+        assert_eq!(s.matrix("W4").unwrap().shape(), Shape::new(24, 12));
+    }
+
+    #[test]
+    fn engines_agree_on_one_step() {
+        let ae = tiny();
+        let run = |engine: Engine| -> Vec<f64> {
+            let mut s = Session::new(engine);
+            ae.bind_inputs(&mut s, 5).unwrap();
+            ae.step(&mut s).unwrap();
+            s.matrix("W1").unwrap().to_dense_vec()
+        };
+        let mut cc = ClusterConfig::test_small();
+        cc.mem_per_task = 256 << 20;
+        let a = run(Engine::fuseme(cc));
+        let b = run(Engine::tf_like(cc));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() <= 1e-9 * x.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn epoch_time_scales_with_steps() {
+        let ae = tiny();
+        let mut s = session();
+        ae.bind_inputs(&mut s, 6).unwrap();
+        let epoch = ae.epoch_sim_secs(&mut s).unwrap();
+        assert!(epoch > 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Datasets of the paper's evaluation, as scaled synthetic equivalents.
+//!
+//! We do not ship MovieLens/Netflix/YahooMusic (the paper's Table 2): the
+//! harness generates sparse rating matrices with the same aspect ratio and
+//! density at a configurable scale. GNMF's cost structure depends on the
+//! dimensions and density of `X`, not on the rating values, so this
+//! preserves the comparison (see DESIGN.md's substitution table).
+
+use fuseme_matrix::{gen, BlockedMatrix, Result};
+use serde::{Deserialize, Serialize};
+
+/// A rating dataset descriptor (one row of the paper's Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatingDataset {
+    /// Dataset name as used in figure legends.
+    pub name: &'static str,
+    /// Users (rows) at full scale.
+    pub users: usize,
+    /// Items (columns) at full scale.
+    pub items: usize,
+    /// Non-zero ratings at full scale.
+    pub nnz: u64,
+}
+
+/// MovieLens (small): 283,228 × 58,098, 27.7M ratings.
+pub const MOVIELENS: RatingDataset = RatingDataset {
+    name: "MovieLens",
+    users: 283_228,
+    items: 58_098,
+    nnz: 27_753_444,
+};
+
+/// Netflix (medium): 480,189 × 17,770, 100.5M ratings.
+pub const NETFLIX: RatingDataset = RatingDataset {
+    name: "Netflix",
+    users: 480_189,
+    items: 17_770,
+    nnz: 100_480_507,
+};
+
+/// YahooMusic (large): 1,823,179 × 136,736, 717.9M ratings.
+pub const YAHOO_MUSIC: RatingDataset = RatingDataset {
+    name: "YahooMusic",
+    users: 1_823_179,
+    items: 136_736,
+    nnz: 717_872_016,
+};
+
+impl RatingDataset {
+    /// Density of the full-scale matrix.
+    pub fn density(&self) -> f64 {
+        self.nnz as f64 / (self.users as f64 * self.items as f64)
+    }
+
+    /// Dimensions after dividing both axes by `scale` (density is scale-
+    /// invariant), rounded up to one block.
+    pub fn scaled_dims(&self, scale: usize, block_size: usize) -> (usize, usize) {
+        let users = (self.users / scale).max(block_size);
+        let items = (self.items / scale).max(block_size);
+        (users, items)
+    }
+
+    /// Generates the scaled rating matrix.
+    pub fn generate(&self, scale: usize, block_size: usize, seed: u64) -> Result<BlockedMatrix> {
+        let (users, items) = self.scaled_dims(scale, block_size);
+        gen::ratings(users, items, block_size, self.density(), seed)
+    }
+}
+
+/// The three dataset families of Table 3 (synthetic matrices for the
+/// §6.2/§6.3 operator comparison), parameterized the same way:
+/// `X` is `rows × cols` with `density`, `U` is `rows × k`, `V` is
+/// `cols × k`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticCase {
+    /// Figure-axis label (e.g. "100K" or "0.05").
+    pub label: &'static str,
+    /// Rows of `X` at full scale (the paper's first dimension).
+    pub rows: usize,
+    /// Columns of `X` at full scale.
+    pub cols: usize,
+    /// Common dimension `K` at full scale.
+    pub k: usize,
+    /// Density of `X`.
+    pub density: f64,
+}
+
+impl SyntheticCase {
+    /// Scaled element dimensions `(rows, cols, k)`.
+    pub fn scaled(&self, scale: usize, block_size: usize) -> (usize, usize, usize) {
+        (
+            (self.rows / scale).max(block_size),
+            (self.cols / scale).max(block_size),
+            (self.k / scale).max(block_size),
+        )
+    }
+}
+
+/// Fig. 12(a)/(e): matrices varying two large dimensions, `n × 2K × n`,
+/// density 0.001.
+pub fn vary_two_large_dims() -> Vec<SyntheticCase> {
+    [
+        ("100K", 100_000),
+        ("250K", 250_000),
+        ("500K", 500_000),
+        ("750K", 750_000),
+    ]
+    .into_iter()
+    .map(|(label, n)| SyntheticCase {
+        label,
+        rows: n,
+        cols: n,
+        k: 2_000,
+        density: 0.001,
+    })
+    .collect()
+}
+
+/// Fig. 12(b)/(f): matrices varying a common large dimension,
+/// `100K × n × 100K`, density 0.2.
+pub fn vary_common_dim() -> Vec<SyntheticCase> {
+    [("2K", 2_000), ("5K", 5_000), ("10K", 10_000), ("50K", 50_000)]
+        .into_iter()
+        .map(|(label, n)| SyntheticCase {
+            label,
+            rows: 100_000,
+            cols: 100_000,
+            k: n,
+            density: 0.2,
+        })
+        .collect()
+}
+
+/// Fig. 12(c)/(g): matrices varying density, `100K × 2K × 100K`.
+pub fn vary_density() -> Vec<SyntheticCase> {
+    [("0.05", 0.05), ("0.1", 0.1), ("0.5", 0.5), ("1", 1.0)]
+        .into_iter()
+        .map(|(label, d)| SyntheticCase {
+            label,
+            rows: 100_000,
+            cols: 100_000,
+            k: 2_000,
+            density: d,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_densities() {
+        assert!((MOVIELENS.density() - 0.001687).abs() < 1e-4);
+        assert!((NETFLIX.density() - 0.011776).abs() < 1e-4);
+        assert!((YAHOO_MUSIC.density() - 0.00288).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scaled_generation_matches_descriptor() {
+        let m = MOVIELENS.generate(2000, 16, 1).unwrap();
+        let (users, items) = MOVIELENS.scaled_dims(2000, 16);
+        assert_eq!(m.shape().rows, users);
+        assert_eq!(m.shape().cols, items);
+        let d = m.actual_density();
+        assert!(
+            (d - MOVIELENS.density()).abs() < MOVIELENS.density(),
+            "density {d} vs {}",
+            MOVIELENS.density()
+        );
+    }
+
+    #[test]
+    fn families_have_four_points() {
+        assert_eq!(vary_two_large_dims().len(), 4);
+        assert_eq!(vary_common_dim().len(), 4);
+        assert_eq!(vary_density().len(), 4);
+    }
+
+    #[test]
+    fn scaling_preserves_aspect() {
+        let c = &vary_two_large_dims()[0];
+        let (r, co, k) = c.scaled(1000, 10);
+        assert_eq!(r, co);
+        assert!(k >= 10);
+    }
+}

@@ -1,0 +1,21 @@
+//! Evaluation workloads of the FuseME paper (§6).
+//!
+//! * [`nmf`] — the running example `O = X * log(U × Vᵀ + eps)` used by the
+//!   distributed-fused-operator comparison (§6.2, Fig. 12) and the
+//!   `(P,Q,R)` optimization study (§6.3, Fig. 13);
+//! * [`gnmf`] — Gaussian non-negative matrix factorization (Eq. 6), the
+//!   fusion-plan comparison workload (§6.4, Fig. 14);
+//! * [`als`] — the weighted-squared-loss expression from ALS (Fig. 1(a));
+//! * [`pca`] — PCA-style patterns (Row-fusion example, Fig. 2(b));
+//! * [`autoencoder`] — the two-layer autoencoder (§6.5, Fig. 15);
+//! * [`datasets`] — Table 2's rating datasets as scaled synthetic
+//!   equivalents, plus Table 3's synthetic families.
+
+pub mod als;
+pub mod autoencoder;
+pub mod datasets;
+pub mod gnmf;
+pub mod nmf;
+pub mod pca;
+
+pub use datasets::{RatingDataset, MOVIELENS, NETFLIX, YAHOO_MUSIC};

@@ -1,0 +1,145 @@
+//! The paper's running NMF query: `O = X * log(U × Vᵀ + eps)` (from
+//! Lee–Seung NMF's divergence update), used throughout §6.2/§6.3.
+
+use std::sync::Arc;
+
+use fuseme_matrix::{gen, MatrixMeta, Result};
+use fuseme_plan::{Bindings, DagBuilder, QueryDag};
+
+use crate::datasets::SyntheticCase;
+
+/// Builder for the simple NMF query at given dimensions.
+#[derive(Debug, Clone, Copy)]
+pub struct SimpleNmf {
+    /// Rows of `X` (and `U`).
+    pub rows: usize,
+    /// Columns of `X` (rows of `V`).
+    pub cols: usize,
+    /// Common factor dimension.
+    pub k: usize,
+    /// Block edge.
+    pub block_size: usize,
+    /// Density of `X`.
+    pub density: f64,
+}
+
+impl SimpleNmf {
+    /// Builds from a synthetic dataset case at a scale divisor.
+    pub fn from_case(case: &SyntheticCase, scale: usize, block_size: usize) -> Self {
+        let (rows, cols, k) = case.scaled(scale, block_size);
+        SimpleNmf {
+            rows,
+            cols,
+            k,
+            block_size,
+            density: case.density,
+        }
+    }
+
+    /// The query DAG `O = X * log(U × Vᵀ + eps)`.
+    pub fn dag(&self) -> QueryDag {
+        let mut b = DagBuilder::new();
+        let x = b.input(
+            "X",
+            MatrixMeta::sparse(self.rows, self.cols, self.block_size, self.density),
+        );
+        let u = b.input("U", MatrixMeta::dense(self.rows, self.k, self.block_size));
+        let v = b.input("V", MatrixMeta::dense(self.cols, self.k, self.block_size));
+        let vt = b.transpose(v);
+        let mm = b.matmul(u, vt);
+        let eps = b.scalar(1e-8);
+        let add = b.binary(mm, eps, fuseme_matrix::BinOp::Add);
+        let lg = b.unary(add, fuseme_matrix::UnaryOp::Log);
+        let out = b.binary(x, lg, fuseme_matrix::BinOp::Mul);
+        b.finish(vec![out])
+    }
+
+    /// The same query as a DML-like script (for the language path).
+    pub fn script() -> &'static str {
+        "out = X * log(U %*% t(V) + 0.00000001)"
+    }
+
+    /// Generates the input matrices.
+    pub fn generate(&self, seed: u64) -> Result<Bindings> {
+        let x = gen::sparse_uniform(
+            self.rows,
+            self.cols,
+            self.block_size,
+            self.density,
+            1.0,
+            5.0,
+            seed,
+        )?;
+        let u = gen::dense_uniform(self.rows, self.k, self.block_size, 0.1, 1.0, seed + 1)?;
+        let v = gen::dense_uniform(self.cols, self.k, self.block_size, 0.1, 1.0, seed + 2)?;
+        Ok([
+            ("X".to_string(), Arc::new(x)),
+            ("U".to_string(), Arc::new(u)),
+            ("V".to_string(), Arc::new(v)),
+        ]
+        .into_iter()
+        .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuseme_plan::evaluate;
+
+    #[test]
+    fn dag_shapes() {
+        let w = SimpleNmf {
+            rows: 60,
+            cols: 40,
+            k: 20,
+            block_size: 10,
+            density: 0.1,
+        };
+        let dag = w.dag();
+        dag.validate().unwrap();
+        let root = dag.node(dag.roots()[0]);
+        assert_eq!(root.meta.shape.rows, 60);
+        assert_eq!(root.meta.shape.cols, 40);
+    }
+
+    #[test]
+    fn generated_inputs_evaluate() {
+        let w = SimpleNmf {
+            rows: 30,
+            cols: 30,
+            k: 10,
+            block_size: 10,
+            density: 0.2,
+        };
+        let binds = w.generate(1).unwrap();
+        let out = evaluate(&w.dag(), &binds).unwrap();
+        let m = out[0].as_matrix().unwrap();
+        assert_eq!(m.shape().rows, 30);
+        // Output pattern gated by X: no more non-zeros than X.
+        assert!(m.nnz() <= binds["X"].nnz());
+    }
+
+    #[test]
+    fn script_and_dag_agree() {
+        let w = SimpleNmf {
+            rows: 30,
+            cols: 30,
+            k: 10,
+            block_size: 10,
+            density: 0.3,
+        };
+        let binds = w.generate(2).unwrap();
+        let metas = binds
+            .iter()
+            .map(|(n, m)| (n.clone(), *m.meta()))
+            .collect();
+        let script_dag = fuseme_lang::compile(SimpleNmf::script(), &metas).unwrap();
+        let a = evaluate(&w.dag(), &binds).unwrap();
+        let b = evaluate(&script_dag, &binds).unwrap();
+        assert!(a[0]
+            .as_matrix()
+            .unwrap()
+            .approx_eq(b[0].as_matrix().unwrap(), 1e-12));
+    }
+}

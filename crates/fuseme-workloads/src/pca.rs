@@ -1,0 +1,113 @@
+//! PCA-style matrix patterns (the paper's Row-fusion example, Fig. 2(b)).
+//!
+//! Principal component analysis over a tall data matrix `X (n × d)` needs
+//! the covariance `C = XᵀX/n − μᵀμ` (with `μ = colSums(X)/n`) and, in
+//! iterative solvers, products of the form `(X × S)ᵀ × X` where `S` is a
+//! thin sketch/direction matrix — the pattern the paper uses to motivate
+//! Row fusion.
+
+use fuseme::session::{Session, SessionError};
+use fuseme_matrix::gen;
+
+/// A configured PCA instance over `n × d` data.
+#[derive(Debug, Clone, Copy)]
+pub struct Pca {
+    /// Observations (rows).
+    pub n: usize,
+    /// Features (columns).
+    pub d: usize,
+    /// Sketch width for the Row-fusion pattern.
+    pub sketch: usize,
+    /// Block edge.
+    pub block_size: usize,
+}
+
+impl Pca {
+    /// The Row-fusion pattern `(X × S)ᵀ × X` (Fig. 2(b)).
+    pub fn row_pattern_script() -> &'static str {
+        "G = t(X %*% S) %*% X"
+    }
+
+    /// Covariance via the aggregation path: `C = XᵀX/n − μᵀ×μ`. The row
+    /// count is inlined as a literal (the script language has no scalar
+    /// broadcasting from 1×1 matrices).
+    pub fn covariance_script(&self) -> String {
+        format!(
+            "mu = colSums(X) / {n}\nC = (t(X) %*% X) / {n} - t(mu) %*% mu",
+            n = self.n
+        )
+    }
+
+    /// Binds `X` and the sketch `S`.
+    pub fn bind_inputs(&self, session: &mut Session, seed: u64) -> Result<(), SessionError> {
+        let x = gen::dense_uniform(self.n, self.d, self.block_size, -1.0, 1.0, seed)
+            .map_err(|e| SessionError::Data(e.to_string()))?;
+        let s = gen::dense_uniform(self.d, self.sketch, self.block_size, -1.0, 1.0, seed + 1)
+            .map_err(|e| SessionError::Data(e.to_string()))?;
+        session.bind("X", x);
+        session.bind("S", s);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuseme::prelude::*;
+    #[allow(unused_imports)]
+    use std::sync::Arc;
+
+    fn session() -> Session {
+        let mut cc = ClusterConfig::test_small();
+        cc.mem_per_task = 256 << 20;
+        Session::new(Engine::fuseme(cc))
+    }
+
+    #[test]
+    fn row_pattern_matches_reference() {
+        let p = Pca {
+            n: 30,
+            d: 20,
+            sketch: 5,
+            block_size: 10,
+        };
+        let mut s = session();
+        p.bind_inputs(&mut s, 1).unwrap();
+        let report = s.run_script(Pca::row_pattern_script()).unwrap();
+        let x = s.matrix("X").unwrap();
+        let sk = s.matrix("S").unwrap();
+        let expected = x
+            .matmul(sk)
+            .unwrap()
+            .transpose()
+            .unwrap()
+            .matmul(x)
+            .unwrap();
+        assert!(report.outputs[0].approx_eq(&expected, 1e-9));
+        assert_eq!(report.outputs[0].shape().rows, 5);
+        assert_eq!(report.outputs[0].shape().cols, 20);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_and_centered() {
+        let p = Pca {
+            n: 40,
+            d: 10,
+            sketch: 2,
+            block_size: 10,
+        };
+        let mut s = session();
+        p.bind_inputs(&mut s, 2).unwrap();
+        let report = s.run_script(&p.covariance_script()).unwrap();
+        let c = &report.outputs[0];
+        for i in 0..10 {
+            for j in 0..10 {
+                let a = c.get(i, j).unwrap();
+                let b = c.get(j, i).unwrap();
+                assert!((a - b).abs() < 1e-9, "asymmetry at ({i},{j})");
+            }
+            // Variances are non-negative.
+            assert!(c.get(i, i).unwrap() >= -1e-12);
+        }
+    }
+}

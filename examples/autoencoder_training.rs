@@ -1,0 +1,64 @@
+//! Deep-learning workload: train the paper's two-layer autoencoder (§6.5)
+//! expressed entirely as matrix queries, and compare engines on one step.
+//!
+//! ```text
+//! cargo run --release --example autoencoder_training
+//! ```
+
+use fuseme::prelude::*;
+use fuseme::session::Session;
+use fuseme_workloads::autoencoder::AutoEncoder;
+
+fn main() {
+    let ae = AutoEncoder {
+        inputs: 1024,
+        features: 96,
+        h1: 48,
+        h2: 8,
+        batch: 256,
+        block_size: 16,
+        lr: 0.05,
+    };
+    println!(
+        "autoencoder: {} features → {} → {} → {} → {} (batch {}, {} steps/epoch)",
+        ae.features, ae.h1, ae.h2, ae.h1, ae.features, ae.batch, ae.steps_per_epoch()
+    );
+
+    let mut cc = ClusterConfig::paper_testbed();
+    cc.mem_per_task = 32 << 20;
+
+    // One training step is a 19-statement script with eight matrix
+    // multiplications (forward + backward + SGD). Show how much of it each
+    // engine fuses.
+    println!("\none training step on each engine:");
+    for engine in [
+        Engine::fuseme(cc),
+        Engine::systemds_like(cc),
+        Engine::tf_like(cc),
+    ] {
+        let name = engine.kind().name();
+        let mut s = Session::new(engine);
+        ae.bind_inputs(&mut s, 7).unwrap();
+        let dag = s.compile_script(&ae.step_script()).unwrap();
+        let plan = s.engine().plan(&dag);
+        match s.run_script(&ae.step_script()) {
+            Ok(report) => println!(
+                "  {name:>10}: {:>6.2}s simulated, {:>7.2} MB shuffled, {} ops fused into {} units",
+                report.stats.sim_secs,
+                report.stats.comm.total() as f64 / 1e6,
+                plan.fused_op_count(),
+                plan.fused_unit_count(),
+            ),
+            Err(e) => println!("  {name:>10}: {e}"),
+        }
+    }
+
+    // Train for a few steps on FuseME and watch the loss fall.
+    println!("\ntraining on FuseME:");
+    let mut session = Session::new(Engine::fuseme(cc));
+    ae.bind_inputs(&mut session, 7).unwrap();
+    for step in 1..=8 {
+        let loss = ae.step(&mut session).unwrap();
+        println!("  step {step}: squared-error loss {loss:.3}");
+    }
+}

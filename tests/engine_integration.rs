@@ -1,0 +1,229 @@
+//! Cross-crate integration: every engine, every physical operator, and the
+//! reference interpreter must agree on results for a battery of queries,
+//! across dense/sparse inputs and cluster shapes.
+
+use std::sync::Arc;
+
+use fuseme::prelude::*;
+use fuseme::session::Session;
+use fuseme_plan::evaluate;
+
+fn cluster() -> ClusterConfig {
+    let mut cc = ClusterConfig::test_small();
+    cc.mem_per_task = 256 << 20;
+    cc
+}
+
+fn engines() -> Vec<Engine> {
+    vec![
+        Engine::fuseme(cluster()),
+        Engine::systemds_like(cluster()),
+        Engine::matfast_like(cluster()),
+        Engine::distme_like(cluster()),
+        Engine::tf_like(cluster()),
+    ]
+}
+
+/// Queries covering every operator class and fusion template.
+fn query_battery() -> Vec<&'static str> {
+    vec![
+        // Cell fusion (Fig. 2(a)).
+        "o = X * U / (V + 1)",
+        // Outer fusion (Fig. 2(c)).
+        "o = (U %*% t(V)) * X",
+        // The running NMF example.
+        "o = X * log(U %*% t(V) + 0.001)",
+        // Row-fusion shape (Fig. 2(b)): (X × S)ᵀ × X with S thin.
+        "o = t(X %*% U) %*% X",
+        // Weighted squared loss with aggregation root (Fig. 1(a)).
+        "o = sum((X != 0) * (X - U %*% t(V)) ^ 2)",
+        // Aggregations of all shapes.
+        "o = rowSums(X %*% t(V))",
+        "o = colSums((X + 1) * X)",
+        "o = max(X %*% t(V))",
+        // Chained multiplications (GNMF denominator shape).
+        "o = (t(V) %*% V) %*% t(U)",
+        // Transposes interleaved with element-wise work.
+        "o = t(t(X) * t(X)) + X",
+        // Comparison operators.
+        "o = (X > 0.5) * U",
+        // Scalar on the left.
+        "o = 1 - (X != 0)",
+        // Deep element-wise chain.
+        "o = sqrt(abs(X * U - V * 0.5) + 0.25)",
+        // Multiple outputs.
+        "a = rowSums(X)\nb = X %*% t(V)\noutput a, b",
+    ]
+}
+
+fn fresh_session(engine: Engine, seed: u64) -> Session {
+    let mut s = Session::new(engine);
+    s.gen_sparse("X", 48, 48, 8, 0.15, seed).unwrap();
+    s.gen_dense("U", 48, 48, 8, seed + 1).unwrap();
+    s.gen_dense("V", 48, 48, 8, seed + 2).unwrap();
+    s
+}
+
+#[test]
+fn all_engines_match_reference_on_battery() {
+    for (qi, script) in query_battery().into_iter().enumerate() {
+        // Reference result from the single-node interpreter.
+        let reference = {
+            let s = fresh_session(Engine::fuseme(cluster()), 99);
+            let dag = s.compile_script(script).unwrap();
+            evaluate(&dag, &s.bindings()).unwrap()
+        };
+        for engine in engines() {
+            let name = engine.kind().name();
+            let mut s = fresh_session(engine, 99);
+            let report = s
+                .run_script(script)
+                .unwrap_or_else(|e| panic!("query #{qi} `{script}` on {name}: {e}"));
+            assert_eq!(report.outputs.len(), reference.len());
+            for (out, want) in report.outputs.iter().zip(&reference) {
+                let want = want.as_matrix().unwrap();
+                assert!(
+                    out.approx_eq(want, 1e-9),
+                    "query #{qi} `{script}` diverges on {name}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn results_stable_across_cluster_shapes() {
+    let script = "o = X * log(U %*% t(V) + 0.001)";
+    let reference = {
+        let s = fresh_session(Engine::fuseme(cluster()), 7);
+        let dag = s.compile_script(script).unwrap();
+        evaluate(&dag, &s.bindings()).unwrap()[0]
+            .as_matrix()
+            .unwrap()
+            .clone()
+    };
+    for nodes in [1usize, 2, 4, 8] {
+        for tasks in [1usize, 3, 12] {
+            let mut cc = cluster();
+            cc.nodes = nodes;
+            cc.tasks_per_node = tasks;
+            let mut s = fresh_session(Engine::fuseme(cc), 7);
+            let report = s.run_script(script).unwrap();
+            assert!(
+                report.outputs[0].approx_eq(&reference, 1e-9),
+                "diverged at {nodes} nodes × {tasks} tasks"
+            );
+        }
+    }
+}
+
+#[test]
+fn deterministic_replay() {
+    // Two identical runs must produce byte-identical results and identical
+    // ledger charges — the simulator's core guarantee.
+    let run = || {
+        let mut s = fresh_session(Engine::fuseme(cluster()), 3);
+        let report = s.run_script("o = (U %*% t(V)) * X + X").unwrap();
+        (
+            report.outputs[0].to_dense_vec(),
+            report.stats.comm.consolidation_bytes,
+            report.stats.comm.aggregation_bytes,
+            report.stats.sim_secs,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert!((a.3 - b.3).abs() < 1e-12);
+}
+
+#[test]
+fn tight_memory_prefers_finer_cuboids_not_failure() {
+    // FuseME must degrade by partitioning finer, not by failing, as long as
+    // any feasible (P,Q,R) exists.
+    let script = "o = X * log(U %*% t(V) + 0.001)";
+    let loose = {
+        let mut s = fresh_session(Engine::fuseme(cluster()), 5);
+        s.run_script(script).unwrap().stats.pqr_choices[0].1
+    };
+    let mut tight_cc = cluster();
+    tight_cc.mem_per_task = 200 << 10; // 200 KiB
+    let mut s = fresh_session(Engine::fuseme(tight_cc), 5);
+    let report = s.run_script(script).unwrap();
+    let tight = report.stats.pqr_choices[0].1;
+    assert!(
+        tight.tasks() >= loose.tasks(),
+        "tight budget must not coarsen partitioning: {tight} vs {loose}"
+    );
+}
+
+#[test]
+fn oom_reported_when_nothing_fits() {
+    let mut cc = cluster();
+    cc.mem_per_task = 256; // nothing fits
+    let mut s = fresh_session(Engine::fuseme(cc), 6);
+    let err = s.run_script("o = U %*% t(V)").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("out of memory"), "got: {msg}");
+}
+
+#[test]
+fn timeout_reported_on_hopeless_bandwidth() {
+    let mut cc = cluster();
+    cc.net_bandwidth = 1.0; // 1 byte/sec
+    cc.timeout_secs = 60.0;
+    let mut s = fresh_session(Engine::fuseme(cc), 8);
+    let err = s.run_script("o = U %*% t(V)").unwrap_err();
+    assert!(err.to_string().contains("timed out"), "got: {err}");
+}
+
+#[test]
+fn ledger_conservation_across_engines() {
+    // Every engine moves at least each input once for this query (inputs
+    // are remote), and FuseME never moves more than DistME (fusion can only
+    // remove materialization traffic here).
+    let script = "o = X * log(U %*% t(V) + 0.001)";
+    let mut totals = Vec::new();
+    for engine in [Engine::fuseme(cluster()), Engine::distme_like(cluster())] {
+        let name = engine.kind().name().to_string();
+        let mut s = fresh_session(engine, 11);
+        let input_bytes: u64 = ["X", "U", "V"]
+            .iter()
+            .map(|n| s.matrix(n).unwrap().actual_size_bytes())
+            .sum();
+        let report = s.run_script(script).unwrap();
+        assert!(
+            report.stats.comm.total() >= input_bytes,
+            "{name} moved less than one copy of the inputs"
+        );
+        totals.push(report.stats.comm.total());
+    }
+    assert!(totals[0] <= totals[1], "FuseME {} > DistME {}", totals[0], totals[1]);
+}
+
+#[test]
+fn iterative_session_reuses_outputs_without_recompute_errors() {
+    let mut s = fresh_session(Engine::fuseme(cluster()), 13);
+    // Chain outputs through rebinding ten times; values must stay finite.
+    for i in 0..10 {
+        let report = s
+            .run_and_rebind("Xn = (X + t(X)) * 0.5", &[("X", 0)])
+            .unwrap();
+        let v = report.outputs[0].to_dense_vec();
+        assert!(
+            v.iter().all(|x| x.is_finite()),
+            "non-finite value at iteration {i}"
+        );
+    }
+    // X is now symmetric.
+    let x = Arc::clone(s.matrix("X").unwrap());
+    for r in 0..48 {
+        for c in 0..48 {
+            let a = x.get(r, c).unwrap();
+            let b = x.get(c, r).unwrap();
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}
