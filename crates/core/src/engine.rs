@@ -218,7 +218,22 @@ impl Engine {
 
     /// Plans and executes a query over named inputs.
     pub fn run(&self, dag: &QueryDag, inputs: &Bindings) -> Result<RunOutcome, SimError> {
+        let plan_start = std::time::Instant::now();
         let plan = self.plan(dag);
+        fuseme_obs::handle().event("fusion-plan", || {
+            vec![
+                ("engine".to_string(), self.kind.name().into()),
+                ("units".to_string(), (plan.units.len() as u64).into()),
+                (
+                    "fused_ops".to_string(),
+                    (plan.fused_op_count() as u64).into(),
+                ),
+                (
+                    "plan_secs".to_string(),
+                    plan_start.elapsed().as_secs_f64().into(),
+                ),
+            ]
+        });
         let (outputs, stats) = execute_plan(&self.cluster, dag, &plan, inputs, &self.exec)?;
         Ok(RunOutcome { outputs, stats })
     }
@@ -349,9 +364,6 @@ mod tests {
     fn tf_like_uses_folded_plans_and_broadcast() {
         let e = Engine::tf_like(cc());
         assert_eq!(e.cluster().config().nodes, cc().nodes);
-        assert!(matches!(
-            e.exec_config().matmul,
-            MatmulStrategy::Bfo { .. }
-        ));
+        assert!(matches!(e.exec_config().matmul, MatmulStrategy::Bfo { .. }));
     }
 }

@@ -38,6 +38,9 @@ pub mod prelude;
 pub mod session;
 pub mod stats;
 
+/// Structured tracing & metrics (re-exported `fuseme-obs` crate).
+pub use fuseme_obs as obs;
+
 pub use engine::{Engine, EngineKind};
 pub use session::{RunReport, Session};
 pub use stats::{RunStatus, RunSummary};

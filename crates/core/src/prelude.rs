@@ -11,5 +11,8 @@ pub use fuseme_fusion::plan::{ExecUnit, FusionPlan, PartialPlan};
 pub use fuseme_matrix::{
     gen, AggOp, BinOp, Block, BlockedMatrix, DenseBlock, MatrixMeta, Shape, SparseBlock, UnaryOp,
 };
+pub use fuseme_obs::{
+    chrome_trace_json, predicted_vs_actual, summarize, summary_table, Recorder, TraceSummary,
+};
 pub use fuseme_plan::{Bindings, DagBuilder, QueryDag};
 pub use fuseme_sim::{Cluster, ClusterConfig, CommStats, SimError};

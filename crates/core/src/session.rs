@@ -6,10 +6,20 @@ use std::sync::Arc;
 use fuseme_exec::driver::EngineStats;
 use fuseme_lang::compile;
 use fuseme_matrix::{gen, BlockedMatrix, MatrixMeta};
+use fuseme_obs::{Recorder, SpanGuard, SpanKind, TraceSummary};
 use fuseme_plan::{Bindings, QueryDag};
 use fuseme_sim::SimError;
 
 use crate::engine::Engine;
+
+/// Live tracing state of a session: the recorder installed on this thread
+/// plus the open session-level span every run nests under.
+#[derive(Debug)]
+struct TraceCtx {
+    recorder: Arc<Recorder>,
+    span: SpanGuard,
+    sim_start: f64,
+}
 
 /// A session holds an engine plus named matrices, and runs scripts or DAGs
 /// against them — the equivalent of FuseME's Scala/DML user surface.
@@ -17,6 +27,7 @@ use crate::engine::Engine;
 pub struct Session {
     engine: Engine,
     data: HashMap<String, Arc<BlockedMatrix>>,
+    trace: Option<TraceCtx>,
 }
 
 /// Everything a run returns.
@@ -63,12 +74,62 @@ impl Session {
         Session {
             engine,
             data: HashMap::new(),
+            trace: None,
         }
     }
 
     /// The wrapped engine.
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// Turns on structured tracing for this session (on this thread). Every
+    /// subsequent run records plan/exec-unit/stage/wave/task spans under one
+    /// session span, until [`end_tracing`](Session::end_tracing). Returns
+    /// the recorder; calling again while tracing is active returns the
+    /// existing one.
+    pub fn enable_tracing(&mut self) -> Arc<Recorder> {
+        if let Some(t) = &self.trace {
+            return Arc::clone(&t.recorder);
+        }
+        let recorder = Recorder::new();
+        fuseme_obs::install(&recorder);
+        let span = fuseme_obs::handle().scope_span(SpanKind::Session, || {
+            format!("session-{}", self.engine.kind().name())
+        });
+        let sim_start = self.engine.cluster().elapsed_secs();
+        self.trace = Some(TraceCtx {
+            recorder: Arc::clone(&recorder),
+            span,
+            sim_start,
+        });
+        recorder
+    }
+
+    /// Ends tracing: closes the session span, uninstalls the recorder from
+    /// this thread, and returns it for export. Returns `None` when tracing
+    /// was not active.
+    pub fn end_tracing(&mut self) -> Option<Arc<Recorder>> {
+        let ctx = self.trace.take()?;
+        ctx.span.set_sim(
+            ctx.sim_start,
+            self.engine.cluster().elapsed_secs() - ctx.sim_start,
+        );
+        drop(ctx.span);
+        fuseme_obs::uninstall();
+        Some(ctx.recorder)
+    }
+
+    /// Summary of everything recorded so far, when tracing is active.
+    pub fn trace_summary(&self) -> Option<TraceSummary> {
+        self.trace
+            .as_ref()
+            .map(|t| fuseme_obs::summarize(&t.recorder))
+    }
+
+    /// The active recorder, when tracing is on.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.trace.as_ref().map(|t| &t.recorder)
     }
 
     /// Binds an existing matrix under a name.
@@ -173,6 +234,16 @@ impl Session {
     }
 }
 
+impl Drop for Session {
+    fn drop(&mut self) {
+        // A dropped session must not leave its recorder installed on the
+        // thread: the span guard closes first, then the handle uninstalls.
+        if self.trace.take().is_some() {
+            fuseme_obs::uninstall();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +293,55 @@ mod tests {
         s.run_and_rebind(update, &[("V", 0)]).unwrap();
         let after = s.matrix("V").unwrap().to_dense_vec();
         assert_ne!(mid, after);
+    }
+
+    #[test]
+    fn traced_session_reconciles_with_comm_stats() {
+        let mut s = session();
+        s.gen_sparse("X", 40, 40, 8, 0.2, 1).unwrap();
+        s.gen_dense("U", 40, 8, 8, 2).unwrap();
+        s.gen_dense("V", 40, 8, 8, 3).unwrap();
+        let rec = s.enable_tracing();
+        let report = s
+            .run_script("out = X * log(U %*% t(V) + 0.00000001)")
+            .unwrap();
+        let summary = s.trace_summary().unwrap();
+        assert_eq!(
+            summary.consolidation_bytes,
+            report.stats.comm.consolidation_bytes
+        );
+        assert_eq!(
+            summary.aggregation_bytes,
+            report.stats.comm.aggregation_bytes
+        );
+        assert!(!summary.units.is_empty());
+        // The span tree nests session → plan → exec-unit → stage.
+        let spans = rec.spans();
+        let session_span = spans
+            .iter()
+            .find(|sp| sp.kind == fuseme_obs::SpanKind::Session)
+            .unwrap();
+        let plan_span = spans
+            .iter()
+            .find(|sp| sp.kind == fuseme_obs::SpanKind::Plan)
+            .unwrap();
+        assert_eq!(plan_span.parent, session_span.id);
+        let ended = s.end_tracing().unwrap();
+        assert!(Arc::ptr_eq(&ended, &rec));
+        assert!(s.end_tracing().is_none());
+        // Chrome export of a real run parses back as JSON.
+        let trace = fuseme_obs::chrome_trace_json(&rec);
+        assert!(trace.starts_with('['));
+        assert!(trace.contains("\"cat\":\"stage\""));
+    }
+
+    #[test]
+    fn enable_tracing_is_idempotent() {
+        let mut s = session();
+        let a = s.enable_tracing();
+        let b = s.enable_tracing();
+        assert!(Arc::ptr_eq(&a, &b));
+        s.end_tracing();
     }
 
     #[test]

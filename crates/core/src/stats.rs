@@ -1,6 +1,7 @@
 //! Serializable run summaries for the experiment harness.
 
 use fuseme_exec::driver::EngineStats;
+use fuseme_obs::TraceSummary;
 use fuseme_sim::SimError;
 use serde::{Deserialize, Serialize};
 
@@ -60,6 +61,9 @@ pub struct RunSummary {
     pub single_units: usize,
     /// `(P,Q,R)` choices as `(root, p, q, r)` tuples.
     pub pqr: Vec<(usize, usize, usize, usize)>,
+    /// Trace summary, when the run executed with tracing enabled. Absent
+    /// (and omitted-tolerant on deserialize) for untraced runs.
+    pub trace: Option<TraceSummary>,
 }
 
 impl RunSummary {
@@ -79,7 +83,14 @@ impl RunSummary {
                 .iter()
                 .map(|(root, pqr)| (*root, pqr.p, pqr.q, pqr.r))
                 .collect(),
+            trace: None,
         }
+    }
+
+    /// Attaches a trace summary to the record.
+    pub fn with_trace(mut self, trace: TraceSummary) -> RunSummary {
+        self.trace = Some(trace);
+        self
     }
 
     /// Builds a summary for a failed run.
@@ -94,6 +105,7 @@ impl RunSummary {
             fused_units: 0,
             single_units: 0,
             pqr: Vec::new(),
+            trace: None,
         }
     }
 
@@ -159,10 +171,42 @@ mod tests {
             fused_units: 2,
             single_units: 1,
             pqr: vec![(8, 2, 3, 1)],
+            trace: None,
         };
         let json = serde_json::to_string(&s).unwrap();
         let back: RunSummary = serde_json::from_str(&json).unwrap();
         assert_eq!(back.comm_total(), 150);
         assert_eq!(back.pqr, vec![(8, 2, 3, 1)]);
+        assert!(back.trace.is_none());
+    }
+
+    #[test]
+    fn summary_without_trace_key_deserializes() {
+        // Records written before the trace field existed omit the key.
+        let json = r#"{"engine":"FuseME","status":"Completed","sim_secs":1.0,
+            "wall_secs":0.1,"consolidation_bytes":10,"aggregation_bytes":5,
+            "fused_units":1,"single_units":0,"pqr":[]}"#;
+        let back: RunSummary = serde_json::from_str(json).unwrap();
+        assert!(back.trace.is_none());
+        assert_eq!(back.comm_total(), 15);
+    }
+
+    #[test]
+    fn with_trace_roundtrips() {
+        let s = RunSummary::completed(
+            "FuseME",
+            &EngineStats {
+                comm: Default::default(),
+                sim_secs: 1.0,
+                wall_secs: 0.1,
+                fused_units: 1,
+                single_units: 0,
+                pqr_choices: vec![],
+            },
+        )
+        .with_trace(TraceSummary::default());
+        let json = serde_json::to_string(&s).unwrap();
+        let back: RunSummary = serde_json::from_str(&json).unwrap();
+        assert!(back.trace.is_some());
     }
 }

@@ -79,22 +79,15 @@ fn fig13_optimizer(c: &mut Criterion) {
         let mm = b.matmul(u, vt);
         let o = b.binary(x, mm, BinOp::Mul);
         let dag = b.finish(vec![o]);
-        let plan = PartialPlan::new(
-            [vt.id(), mm.id(), o.id()].into_iter().collect(),
-            o.id(),
-        );
+        let plan = PartialPlan::new([vt.id(), mm.id(), o.id()].into_iter().collect(), o.id());
         let tree = SpaceTree::build(&dag, &plan);
-        group.bench_with_input(
-            BenchmarkId::new("pruning", voxels),
-            &voxels,
-            |bch, _| bch.iter(|| optimize(&dag, &plan, &tree, &model)),
-        );
+        group.bench_with_input(BenchmarkId::new("pruning", voxels), &voxels, |bch, _| {
+            bch.iter(|| optimize(&dag, &plan, &tree, &model))
+        });
         if voxels <= 250_000 {
-            group.bench_with_input(
-                BenchmarkId::new("exhaustive", voxels),
-                &voxels,
-                |bch, _| bch.iter(|| optimize_exhaustive(&dag, &plan, &tree, &model)),
-            );
+            group.bench_with_input(BenchmarkId::new("exhaustive", voxels), &voxels, |bch, _| {
+                bch.iter(|| optimize_exhaustive(&dag, &plan, &tree, &model))
+            });
         }
     }
     group.finish();
@@ -151,8 +144,12 @@ fn table1_kernels(c: &mut Criterion) {
         bch.iter(|| s.zip(&a, MBinOp::Mul).unwrap())
     });
     group.bench_function("transpose_256", |bch| bch.iter(|| a.transpose().unwrap()));
-    group.bench_function("map_log_256", |bch| bch.iter(|| a.map(MUnaryOp::Log).unwrap()));
-    group.bench_function("colsums_256", |bch| bch.iter(|| a.col_agg(AggOp::Sum).unwrap()));
+    group.bench_function("map_log_256", |bch| {
+        bch.iter(|| a.map(MUnaryOp::Log).unwrap())
+    });
+    group.bench_function("colsums_256", |bch| {
+        bch.iter(|| a.col_agg(AggOp::Sum).unwrap())
+    });
     group.finish();
 }
 
@@ -169,8 +166,10 @@ fn cfg_planning(c: &mut Criterion) {
     let mut s = session;
     s.gen_sparse("X", g.users, g.items, g.block_size, g.density, 1)
         .unwrap();
-    s.gen_dense("V", g.users, g.factor, g.block_size, 2).unwrap();
-    s.gen_dense("U", g.factor, g.items, g.block_size, 3).unwrap();
+    s.gen_dense("V", g.users, g.factor, g.block_size, 2)
+        .unwrap();
+    s.gen_dense("U", g.factor, g.items, g.block_size, 3)
+        .unwrap();
     let dag = s.compile_script(Gnmf::update_script()).unwrap();
     let model = CostModel {
         nodes: 8,
@@ -181,9 +180,7 @@ fn cfg_planning(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("cfg_planning");
     group.bench_function("cfg_fuseme", |b| b.iter(|| Cfg::new(model).plan(&dag)));
-    group.bench_function("gen_systemds", |b| {
-        b.iter(|| GenLike::default().plan(&dag))
-    });
+    group.bench_function("gen_systemds", |b| b.iter(|| GenLike::default().plan(&dag)));
     group.bench_function("folded_matfast", |b| b.iter(|| Folded.plan(&dag)));
     group.finish();
 }

@@ -6,6 +6,9 @@
 //!             [--scale S]    element-dimension divisor (divides 1000; default 250)
 //!             [--iters N]    GNMF iterations for fig14 (default 10)
 //!             [--out DIR]    JSON output directory (default results/)
+//!             [--trace]      record a structured trace of every measured
+//!                            run under DIR/traces/ (chrome trace + summary
+//!                            + predicted-vs-actual report)
 //! ```
 
 use std::path::PathBuf;
@@ -19,9 +22,11 @@ fn main() {
     let mut scale = Scale::default_scale();
     let mut iters = 10usize;
     let mut out = PathBuf::from("results");
+    let mut trace = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--trace" => trace = true,
             "--scale" => {
                 i += 1;
                 let v: usize = args
@@ -44,7 +49,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [all|table1|table3|fig12|fig13|fig14|fig15|ablation]... \
-                     [--scale S] [--iters N] [--out DIR]"
+                     [--scale S] [--iters N] [--out DIR] [--trace]"
                 );
                 return;
             }
@@ -55,6 +60,11 @@ fn main() {
     }
     if which.is_empty() {
         which.push("all".to_string());
+    }
+    if trace {
+        let dir = out.join("traces");
+        println!("tracing every measured run → {}", dir.display());
+        std::env::set_var("FUSEME_TRACE_DIR", &dir);
     }
 
     println!(
@@ -116,7 +126,10 @@ fn main() {
             }
             other => die(&format!("unknown experiment '{other}'")),
         }
-        eprintln!("[{name} done in {:.1}s wall]", started.elapsed().as_secs_f64());
+        eprintln!(
+            "[{name} done in {:.1}s wall]",
+            started.elapsed().as_secs_f64()
+        );
     }
 }
 

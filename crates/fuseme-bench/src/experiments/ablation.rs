@@ -27,7 +27,13 @@ pub fn run(scale: Scale, out_dir: &Path) -> Vec<Measurement> {
     let mut measurements = Vec::new();
     let mut table = Table::new(
         "Ablation — contribution of each FuseME mechanism",
-        &["workload", "variant", "elapsed s", "comm GB (full-scale)", "fused units"],
+        &[
+            "workload",
+            "variant",
+            "elapsed s",
+            "comm GB (full-scale)",
+            "fused units",
+        ],
     );
     let byte_div = (scale.divisor * scale.divisor) as f64;
 
@@ -123,7 +129,11 @@ fn variants() -> [(&'static str, MatmulStrategy, PlanKind); 4] {
     [
         ("full", MatmulStrategy::Cfo, PlanKind::Cfg),
         ("no-cell-fusion", MatmulStrategy::Cfo, PlanKind::CfgNoCells),
-        ("no-fusion (DistME)", MatmulStrategy::Cfo, PlanKind::NoFusion),
+        (
+            "no-fusion (DistME)",
+            MatmulStrategy::Cfo,
+            PlanKind::NoFusion,
+        ),
         ("no-cuboid (RFO)", MatmulStrategy::Rfo, PlanKind::Cfg),
     ]
 }

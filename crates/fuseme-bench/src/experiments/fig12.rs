@@ -6,10 +6,14 @@
 use std::path::Path;
 
 use fuseme::prelude::*;
-use fuseme_workloads::datasets::{vary_common_dim, vary_density, vary_two_large_dims, SyntheticCase};
+use fuseme_workloads::datasets::{
+    vary_common_dim, vary_density, vary_two_large_dims, SyntheticCase,
+};
 use fuseme_workloads::nmf::SimpleNmf;
 
-use crate::{build_engine, comm_cell_full, measure, time_cell, write_json, Measurement, Scale, Table};
+use crate::{
+    build_engine, comm_cell_full, measure, time_cell, write_json, Measurement, Scale, Table,
+};
 
 const ENGINES: [EngineKind; 3] = [
     EngineKind::SystemDsLike,
@@ -144,16 +148,13 @@ fn nodes_sweep(scale: Scale, out_dir: &Path) -> Vec<Measurement> {
         let binds = workload.generate(23).unwrap();
         let dag = workload.dag();
         let mut table = Table::new(
-            &format!(
-                "Fig. 12({suffix}) — varying nodes (100K × 2K × 100K, density {density})"
-            ),
+            &format!("Fig. 12({suffix}) — varying nodes (100K × 2K × 100K, density {density})"),
             &["nodes", "SystemDS", "FuseME"],
         );
         for nodes in [2usize, 4, 8] {
             let mut cells: Vec<crate::ReportCell> = vec![nodes.into()];
             for kind in [EngineKind::SystemDsLike, EngineKind::FuseMe] {
-                let engine =
-                    build_engine(kind, scale.cluster(nodes), scale.partition_bytes());
+                let engine = build_engine(kind, scale.cluster(nodes), scale.partition_bytes());
                 let run = measure(&engine, &dag, &binds);
                 cells.push(time_cell(&run).into());
                 measurements.push(Measurement {

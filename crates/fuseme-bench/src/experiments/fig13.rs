@@ -150,7 +150,14 @@ fn pruning(scale: Scale, out_dir: &Path) -> Vec<Measurement> {
     let bs = scale.block_size();
     let mut table = Table::new(
         "Fig. 13(d) — optimizer search latency (ms)",
-        &["voxels", "exhaustive ms", "evals", "pruning ms", "evals", "same answer"],
+        &[
+            "voxels",
+            "exhaustive ms",
+            "evals",
+            "pruning ms",
+            "evals",
+            "same answer",
+        ],
     );
     let cc = scale.paper_cluster();
     let model = cost_model(&cc);

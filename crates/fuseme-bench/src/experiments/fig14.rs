@@ -10,7 +10,9 @@ use fuseme::session::Session;
 use fuseme_workloads::datasets::{RatingDataset, MOVIELENS, NETFLIX, YAHOO_MUSIC};
 use fuseme_workloads::gnmf::Gnmf;
 
-use crate::{build_engine, comm_cell_full_div, gb, time_cell, write_json, Measurement, Scale, Table};
+use crate::{
+    build_engine, comm_cell_full_div, gb, time_cell, write_json, Measurement, Scale, Table,
+};
 
 const ENGINES: [EngineKind; 4] = [
     EngineKind::MatFastLike,
@@ -31,7 +33,9 @@ pub fn run(scale: Scale, out_dir: &Path, iters: usize) -> Vec<Measurement> {
             &["dataset", "MatFast", "SystemDS", "DistME", "FuseME"],
         );
         let mut comm_table = Table::new(
-            &format!("Fig. 14 — per-iteration shuffled data (full-scale-equivalent GB), k={k_full}"),
+            &format!(
+                "Fig. 14 — per-iteration shuffled data (full-scale-equivalent GB), k={k_full}"
+            ),
             &["dataset", "MatFast", "SystemDS", "DistME", "FuseME"],
         );
         for dataset in [MOVIELENS, NETFLIX, YAHOO_MUSIC] {

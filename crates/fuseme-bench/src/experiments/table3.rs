@@ -8,7 +8,9 @@ use fuseme::prelude::*;
 use fuseme_fusion::cost::CostModel;
 use fuseme_fusion::optimizer::optimize;
 use fuseme_fusion::space::SpaceTree;
-use fuseme_workloads::datasets::{vary_common_dim, vary_density, vary_two_large_dims, SyntheticCase};
+use fuseme_workloads::datasets::{
+    vary_common_dim, vary_density, vary_two_large_dims, SyntheticCase,
+};
 use fuseme_workloads::nmf::SimpleNmf;
 
 use crate::{write_json, Measurement, Scale, Table};

@@ -140,9 +140,7 @@ pub struct Measurement {
 pub fn build_engine(kind: EngineKind, cc: ClusterConfig, partition_bytes: u64) -> Engine {
     match kind {
         EngineKind::FuseMe => Engine::fuseme(cc),
-        EngineKind::SystemDsLike => {
-            Engine::systemds_like(cc).with_partition_bytes(partition_bytes)
-        }
+        EngineKind::SystemDsLike => Engine::systemds_like(cc).with_partition_bytes(partition_bytes),
         EngineKind::MatFastLike => Engine::matfast_like(cc),
         EngineKind::DistMeLike => Engine::distme_like(cc),
         EngineKind::TensorFlowLike => Engine::tf_like(cc).with_partition_bytes(partition_bytes),
@@ -151,12 +149,74 @@ pub fn build_engine(kind: EngineKind, cc: ClusterConfig, partition_bytes: u64) -
 
 /// Runs one query on a fresh engine, classifying failures like the paper's
 /// bars ("O.O.M.", "T.O.").
+///
+/// When the `FUSEME_TRACE_DIR` environment variable is set, every
+/// measurement also records a structured trace and exports it there (see
+/// [`measure_traced`]); file names are sequenced `run-NNNN-<engine>`.
 pub fn measure(engine: &Engine, dag: &QueryDag, binds: &Bindings) -> RunSummary {
+    if let Some(dir) = std::env::var_os("FUSEME_TRACE_DIR") {
+        static TRACE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = TRACE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let name = format!("run-{seq:04}-{}", engine.kind().name());
+        return measure_traced(engine, dag, binds, std::path::Path::new(&dir), &name);
+    }
+    measure_inner(engine, dag, binds)
+}
+
+fn measure_inner(engine: &Engine, dag: &QueryDag, binds: &Bindings) -> RunSummary {
     engine.reset_metrics();
     match engine.run(dag, binds) {
         Ok(outcome) => RunSummary::completed(engine.kind().name(), &outcome.stats),
         Err(e) => RunSummary::failed(engine.kind().name(), &e),
     }
+}
+
+/// [`measure`] with structured tracing: records the run, attaches the
+/// [`TraceSummary`] to the returned [`RunSummary`], and exports three files
+/// under `dir` — `<name>.trace.json` (chrome://tracing), `<name>.summary.json`
+/// (the summary as JSON), and `<name>.pva.txt` (the predicted-vs-actual
+/// report). Export failures are reported to stderr, never panicking a
+/// benchmark sweep.
+pub fn measure_traced(
+    engine: &Engine,
+    dag: &QueryDag,
+    binds: &Bindings,
+    dir: &std::path::Path,
+    name: &str,
+) -> RunSummary {
+    let rec = Recorder::new();
+    fuseme::obs::install(&rec);
+    let span =
+        fuseme::obs::handle().scope_span(fuseme::obs::SpanKind::Session, || name.to_string());
+    let run = measure_inner(engine, dag, binds);
+    // `measure_inner` resets the clock first, so the session span covers
+    // simulated time from zero.
+    span.set_sim(0.0, engine.cluster().elapsed_secs());
+    drop(span);
+    fuseme::obs::uninstall();
+
+    let summary = summarize(&rec);
+    let write = |suffix: &str, contents: String| {
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join(format!("{name}.{suffix}")), contents))
+        {
+            eprintln!("warning: could not write trace {name}.{suffix}: {e}");
+        }
+    };
+    write("trace.json", chrome_trace_json(&rec));
+    write(
+        "summary.json",
+        serde_json::to_string_pretty(&summary).unwrap_or_default(),
+    );
+    write(
+        "pva.txt",
+        format!(
+            "{}\n{}",
+            summary_table(&summary),
+            predicted_vs_actual(&summary)
+        ),
+    );
+    run.with_trace(summary)
 }
 
 /// Formats bytes as the paper's GB figures (decimal).
@@ -248,6 +308,41 @@ mod tests {
         let k200 = s.factor(200);
         let k1000 = s.factor(1000);
         assert_eq!(k1000 / k200, 5);
+    }
+
+    #[test]
+    fn measure_traced_exports_and_reconciles() {
+        let mut cc = ClusterConfig::test_small();
+        cc.mem_per_task = 64 << 20;
+        let engine = Engine::fuseme(cc);
+        let a = gen::dense_uniform(24, 16, 8, 0.0, 1.0, 1).unwrap();
+        let b = gen::dense_uniform(16, 24, 8, 0.0, 1.0, 2).unwrap();
+        let mut db = DagBuilder::new();
+        let ae = db.input("A", *a.meta());
+        let be = db.input("B", *b.meta());
+        let mm = db.matmul(ae, be);
+        let dag = db.finish(vec![mm]);
+        let binds: Bindings = [
+            ("A".to_string(), Arc::new(a)),
+            ("B".to_string(), Arc::new(b)),
+        ]
+        .into_iter()
+        .collect();
+
+        let dir = std::env::temp_dir().join(format!("fuseme-trace-{}", std::process::id()));
+        let run = measure_traced(&engine, &dag, &binds, &dir, "t");
+        assert_eq!(run.status, RunStatus::Completed);
+        let trace = run.trace.as_ref().expect("trace attached");
+        assert_eq!(trace.total_bytes(), run.comm_total());
+        for suffix in ["trace.json", "summary.json", "pva.txt"] {
+            let path = dir.join(format!("t.{suffix}"));
+            assert!(path.exists(), "missing {}", path.display());
+        }
+        // The chrome trace is non-trivial JSON.
+        let chrome = std::fs::read_to_string(dir.join("t.trace.json")).unwrap();
+        assert!(chrome.starts_with('['));
+        assert!(chrome.contains("\"cat\":\"stage\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -16,10 +16,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use fuseme_fusion::cost::CostModel;
-use fuseme_fusion::optimizer::{optimize_bounded, Pqr};
+use fuseme_fusion::optimizer::{optimize_bounded, OptResult, Pqr};
 use fuseme_fusion::plan::{mm_dims, ExecUnit, FusionPlan, PartialPlan};
 use fuseme_fusion::space::SpaceTree;
 use fuseme_matrix::BlockedMatrix;
+use fuseme_obs::{keys, SpanGuard, SpanKind};
 use fuseme_plan::{Bindings, NodeId, OpKind, QueryDag};
 use fuseme_sim::{Cluster, CommStats, SimError};
 
@@ -104,36 +105,50 @@ pub fn execute_plan(
     let wall_start = std::time::Instant::now();
     let mut stats = EngineStats::default();
 
+    let obs = fuseme_obs::handle();
+    let plan_span = obs.scope_span(SpanKind::Plan, || format!("plan-{}", plan.units.len()));
+
     // Bind input leaves.
     let mut values: ValueMap = HashMap::new();
     for node in dag.nodes() {
         if let OpKind::Input { name } = &node.kind {
-            let m = inputs.get(name).ok_or_else(|| {
-                SimError::Task(format!("no binding for input matrix {name}"))
-            })?;
+            let m = inputs
+                .get(name)
+                .ok_or_else(|| SimError::Task(format!("no binding for input matrix {name}")))?;
             values.insert(node.id, Arc::clone(m));
         }
     }
 
-    for unit in &plan.units {
+    for (u_idx, unit) in plan.units.iter().enumerate() {
         match unit {
             ExecUnit::Fused(p) => {
-                let strategy = choose_strategy(dag, p, &values, config, &mut stats)?;
+                let span = obs.scope_span(SpanKind::ExecUnit, || format!("unit-{u_idx}"));
+                let unit_sim = cluster.elapsed_secs();
+                let (strategy, opt) = choose_strategy(dag, p, &values, config, &mut stats)?;
+                annotate_unit(&span, p.root, &strategy, opt.as_ref());
                 let out = execute_fused(cluster, dag, p, &values, &strategy, &config.model)?;
+                span.set_sim(unit_sim, cluster.elapsed_secs() - unit_sim);
                 values.insert(p.root, out);
                 stats.fused_units += 1;
             }
             ExecUnit::Single(op) => {
+                let span = obs.scope_span(SpanKind::ExecUnit, || format!("unit-{u_idx}"));
+                let unit_sim = cluster.elapsed_secs();
                 let singleton = PartialPlan::new([*op].into_iter().collect(), *op);
-                let strategy = if dag.node(*op).kind.is_matmul() {
+                let (strategy, opt) = if dag.node(*op).kind.is_matmul() {
                     choose_strategy(dag, &singleton, &values, config, &mut stats)?
                 } else {
-                    Strategy::Cuboid {
-                        pqr: Pqr { p: 1, q: 1, r: 1 },
-                    }
+                    (
+                        Strategy::Cuboid {
+                            pqr: Pqr { p: 1, q: 1, r: 1 },
+                        },
+                        None,
+                    )
                 };
+                annotate_unit(&span, *op, &strategy, opt.as_ref());
                 let out =
                     execute_fused(cluster, dag, &singleton, &values, &strategy, &config.model)?;
+                span.set_sim(unit_sim, cluster.elapsed_secs() - unit_sim);
                 values.insert(*op, out);
                 stats.single_units += 1;
             }
@@ -154,21 +169,54 @@ pub fn execute_plan(
     stats.comm = cluster.comm().since(&comm_before);
     stats.sim_secs = cluster.elapsed_secs() - sim_before;
     stats.wall_secs = wall_start.elapsed().as_secs_f64();
+    plan_span.set_sim(sim_before, stats.sim_secs);
     Ok((roots, stats))
 }
 
-/// Picks the physical strategy for one (possibly singleton) fused plan.
+/// Records an exec-unit span's strategy and (when a cost-based search ran)
+/// the optimizer's predicted `NetEst`/`MemEst`/`ComEst`, which the trace
+/// summary later pairs with the simulated actuals.
+fn annotate_unit(span: &SpanGuard, root: NodeId, strategy: &Strategy, opt: Option<&OptResult>) {
+    if !span.enabled() {
+        return;
+    }
+    span.set(keys::ROOT, root as u64);
+    match strategy {
+        Strategy::Cuboid { pqr } => {
+            span.set(keys::STRATEGY, "CFO");
+            span.set(keys::P, pqr.p as u64);
+            span.set(keys::Q, pqr.q as u64);
+            span.set(keys::R, pqr.r as u64);
+        }
+        Strategy::Broadcast { .. } => span.set(keys::STRATEGY, "BFO"),
+        Strategy::Replication => span.set(keys::STRATEGY, "RFO"),
+    }
+    if let Some(opt) = opt {
+        span.set(keys::PRED_NET, opt.est.net_bytes);
+        span.set(keys::PRED_MEM, opt.est.mem_bytes);
+        span.set(keys::PRED_COM, opt.est.com_flops);
+        span.set(keys::PRED_COST, opt.cost);
+        span.set(keys::PRED_EVALUATED, opt.stats.evaluated);
+        span.set(keys::PRED_FEASIBLE, opt.feasible);
+    }
+}
+
+/// Picks the physical strategy for one (possibly singleton) fused plan,
+/// returning the optimizer's result when a cost-based search ran.
 fn choose_strategy(
     dag: &QueryDag,
     plan: &PartialPlan,
     values: &ValueMap,
     config: &ExecConfig,
     stats: &mut EngineStats,
-) -> Result<Strategy, SimError> {
+) -> Result<(Strategy, Option<OptResult>), SimError> {
     let Some(mm) = plan.main_matmul(dag) else {
-        return Ok(Strategy::Cuboid {
-            pqr: Pqr { p: 1, q: 1, r: 1 },
-        });
+        return Ok((
+            Strategy::Cuboid {
+                pqr: Pqr { p: 1, q: 1, r: 1 },
+            },
+            None,
+        ));
     };
     match config.matmul {
         MatmulStrategy::Cfo => {
@@ -179,17 +227,16 @@ fn choose_strategy(
                 1
             };
             let opt = optimize_bounded(dag, plan, &tree, &config.model, max_r);
-            if !opt.feasible {
-                // Algorithm 3's fallback: run at the finest partitioning and
-                // let admission control report the failure honestly.
-                stats.pqr_choices.push((plan.root, opt.pqr));
-                return Ok(Strategy::Cuboid { pqr: opt.pqr });
-            }
+            // On infeasible searches Algorithm 3 falls back to the finest
+            // partitioning and lets admission control report the failure
+            // honestly.
             stats.pqr_choices.push((plan.root, opt.pqr));
-            Ok(Strategy::Cuboid { pqr: opt.pqr })
+            Ok((Strategy::Cuboid { pqr: opt.pqr }, Some(opt)))
         }
-        MatmulStrategy::Bfo { partition_bytes } => Ok(Strategy::Broadcast { partition_bytes }),
-        MatmulStrategy::Rfo => Ok(Strategy::Replication),
+        MatmulStrategy::Bfo { partition_bytes } => {
+            Ok((Strategy::Broadcast { partition_bytes }, None))
+        }
+        MatmulStrategy::Rfo => Ok((Strategy::Replication, None)),
         MatmulStrategy::SystemDsRule { partition_bytes } => {
             // BFO when the main matrix repartitions into fewer partitions
             // than the multiplication's I or J extent; RFO otherwise.
@@ -208,9 +255,9 @@ fn choose_strategy(
             let partitions = main_bytes.div_ceil(partition_bytes.max(1));
             let (i, j, _) = mm_dims(dag, mm);
             if partitions < i as u64 || partitions < j as u64 {
-                Ok(Strategy::Broadcast { partition_bytes })
+                Ok((Strategy::Broadcast { partition_bytes }, None))
             } else {
-                Ok(Strategy::Replication)
+                Ok((Strategy::Replication, None))
             }
         }
     }
@@ -275,8 +322,17 @@ mod tests {
         if !roots[0].approx_eq(&expected, 1e-9) {
             let g = roots[0].to_dense_vec();
             let w = expected.to_dense_vec();
-            let bad: Vec<_> = g.iter().zip(&w).enumerate().filter(|(_, (a, b))| (*a - *b).abs() > 1e-9).take(5).collect();
-            panic!("mismatch plan={plan:?} pqr={:?} bad={bad:?}", stats.pqr_choices);
+            let bad: Vec<_> = g
+                .iter()
+                .zip(&w)
+                .enumerate()
+                .filter(|(_, (a, b))| (*a - *b).abs() > 1e-9)
+                .take(5)
+                .collect();
+            panic!(
+                "mismatch plan={plan:?} pqr={:?} bad={bad:?}",
+                stats.pqr_choices
+            );
         }
         assert!(stats.fused_units >= 1);
         assert!(!stats.pqr_choices.is_empty());
@@ -352,6 +408,45 @@ mod tests {
             fuseme <= distme && fuseme < systemds && fuseme < matfast,
             "fuseme={fuseme} distme={distme} systemds={systemds} matfast={matfast}"
         );
+    }
+
+    #[test]
+    fn traced_run_reconciles_bytes_and_predictions() {
+        let (dag, bindings, expected) = gnmf_fixture();
+        let cl = cluster();
+        let config = ExecConfig::for_cluster(&cl, MatmulStrategy::Cfo);
+        let plan = Cfg::new(config.model).plan(&dag);
+
+        let rec = fuseme_obs::Recorder::new();
+        fuseme_obs::install(&rec);
+        let (roots, stats) = execute_plan(&cl, &dag, &plan, &bindings, &config).unwrap();
+        fuseme_obs::uninstall();
+        assert!(roots[0].approx_eq(&expected, 1e-9));
+
+        let summary = fuseme_obs::summarize(&rec);
+        // Per-stage byte sums reconcile exactly with the run's comm totals.
+        assert_eq!(summary.consolidation_bytes, stats.comm.consolidation_bytes);
+        assert_eq!(summary.aggregation_bytes, stats.comm.aggregation_bytes);
+        assert!(summary.total_bytes() > 0);
+        // Every executed unit produced a span; cuboid units carry the
+        // optimizer's predictions and the chosen (P,Q,R).
+        assert_eq!(summary.units.len(), stats.fused_units + stats.single_units);
+        let predicted: Vec<_> = summary
+            .units
+            .iter()
+            .filter(|u| u.predicted.is_some())
+            .collect();
+        assert_eq!(predicted.len(), stats.pqr_choices.len());
+        for u in &predicted {
+            assert_eq!(u.strategy, "CFO");
+            assert!(u.pqr.is_some());
+            assert!(u.predicted.as_ref().unwrap().evaluated > 0);
+        }
+        // The report renders without panicking and names every unit.
+        let pva = fuseme_obs::predicted_vs_actual(&summary);
+        for u in &summary.units {
+            assert!(pva.contains(&u.name));
+        }
     }
 
     #[test]

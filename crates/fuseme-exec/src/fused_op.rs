@@ -118,9 +118,7 @@ pub fn execute_fused(
 
     // ----- carve the computation into tasks ---------------------------------
     let layout = match (strategy, main_mm) {
-        (Strategy::Cuboid { pqr }, Some(mm)) => {
-            cuboid_layout(dag, plan, mm, *pqr, compute_node)?
-        }
+        (Strategy::Cuboid { pqr }, Some(mm)) => cuboid_layout(dag, plan, mm, *pqr, compute_node)?,
         _ => {
             let cfg = cluster.config();
             let slots = cfg.total_tasks();
@@ -135,8 +133,7 @@ pub fn execute_fused(
                         .and_then(|id| values.get(&id))
                         .map(|m| m.actual_size_bytes())
                         .unwrap_or(1);
-                    (main_bytes.div_ceil((*partition_bytes).max(1)) as usize)
-                        .clamp(1, nblocks)
+                    (main_bytes.div_ceil((*partition_bytes).max(1)) as usize).clamp(1, nblocks)
                 }
                 _ => {
                     // Striped operators spawn at least one task per input
@@ -148,8 +145,7 @@ pub fn execute_fused(
                         .filter_map(|id| values.get(id))
                         .map(|m| m.actual_size_bytes())
                         .sum();
-                    let by_partition =
-                        input_bytes.div_ceil(cfg.partition_bytes.max(1)) as usize;
+                    let by_partition = input_bytes.div_ceil(cfg.partition_bytes.max(1)) as usize;
                     slots.min(nblocks).max(by_partition).min(nblocks)
                 }
             };
@@ -199,9 +195,7 @@ pub fn execute_fused(
             let main = main_input(dag, plan, values);
             plan.external_inputs(dag)
                 .into_iter()
-                .filter(|id| {
-                    Some(*id) != main && !matches!(dag.node(*id).kind, OpKind::Scalar(_))
-                })
+                .filter(|id| Some(*id) != main && !matches!(dag.node(*id).kind, OpKind::Scalar(_)))
                 .collect()
         }
         _ => BTreeSet::new(),
@@ -408,20 +402,20 @@ fn cuboid_layout(
     // Structures where the main multiplication feeds another multiplication
     // cannot split the k-axis, and their output grid is unrelated to the
     // main multiplication's (i, j) — tile the output grid directly instead.
-    let (parity, r_parts, p_chunks, q_chunks) =
-        match coordinate_parity(dag, plan, mm, compute_node) {
-            Ok(parity) => {
-                let (rows, cols) = if parity { (j, i) } else { (i, j) };
-                debug_assert_eq!((rows, cols), (grid.block_rows, grid.block_cols));
-                (parity, pqr.r, chunks(i, pqr.p), chunks(j, pqr.q))
-            }
-            Err(_) => (
-                false,
-                1,
-                chunks(grid.block_rows, pqr.p),
-                chunks(grid.block_cols, pqr.q),
-            ),
-        };
+    let (parity, r_parts, p_chunks, q_chunks) = match coordinate_parity(dag, plan, mm, compute_node)
+    {
+        Ok(parity) => {
+            let (rows, cols) = if parity { (j, i) } else { (i, j) };
+            debug_assert_eq!((rows, cols), (grid.block_rows, grid.block_cols));
+            (parity, pqr.r, chunks(i, pqr.p), chunks(j, pqr.q))
+        }
+        Err(_) => (
+            false,
+            1,
+            chunks(grid.block_rows, pqr.p),
+            chunks(grid.block_cols, pqr.q),
+        ),
+    };
     let k_chunks = chunks(k, r_parts);
 
     // Assign compute blocks to (p,q) tiles via their mm coordinates.
@@ -508,8 +502,7 @@ fn coordinate_parity(
             OpKind::Transpose => parity = !parity,
             OpKind::MatMul => {
                 return Err(SimError::Task(
-                    "main multiplication feeds another multiplication; k-split unsupported"
-                        .into(),
+                    "main multiplication feeds another multiplication; k-split unsupported".into(),
                 ))
             }
             _ => {}
@@ -535,12 +528,7 @@ fn main_input(dag: &QueryDag, plan: &PartialPlan, values: &ValueMap) -> Option<N
 
 /// The `(P,Q,R)` a strategy is equivalent to in the paper's cost model
 /// (Table 1 / Fig. 9): BFO ≈ `(T',T',1)`, RFO ≈ `(I,J,1)`.
-fn equivalent_pqr(
-    dag: &QueryDag,
-    plan: &PartialPlan,
-    strategy: &Strategy,
-    layout: &Layout,
-) -> Pqr {
+fn equivalent_pqr(dag: &QueryDag, plan: &PartialPlan, strategy: &Strategy, layout: &Layout) -> Pqr {
     let one = Pqr { p: 1, q: 1, r: 1 };
     match strategy {
         Strategy::Cuboid { pqr } => *pqr,
@@ -675,13 +663,14 @@ fn assemble(
     outputs: Vec<TaskOut>,
 ) -> Result<Arc<BlockedMatrix>, SimError> {
     let root_meta = dag.node(plan.root).meta;
-    let mut result =
-        BlockedMatrix::zeros(root_meta).map_err(|e| SimError::Task(e.to_string()))?;
+    let mut result = BlockedMatrix::zeros(root_meta).map_err(|e| SimError::Task(e.to_string()))?;
     let mut agg_slots: HashMap<(usize, usize), Arc<Block>> = HashMap::new();
     let mut shuffled = 0u64;
     for out in outputs {
         let TaskOut::Blocks(blocks) = out else {
-            return Err(SimError::Task("unexpected partial output at assembly".into()));
+            return Err(SimError::Task(
+                "unexpected partial output at assembly".into(),
+            ));
         };
         for ((bi, bj), block) in blocks {
             match agg_kind {
@@ -704,7 +693,23 @@ fn assemble(
         }
     }
     if agg_kind.is_some() {
-        cluster.ledger().charge(Phase::Aggregation, shuffled);
+        // This shuffle happens driver-side rather than through run_stage, so
+        // it gets its own stage id (and, when tracing, a synthetic stage
+        // span) to keep per-stage byte sums reconciled with the ledger.
+        let stage_id = cluster.next_stage_id();
+        cluster
+            .ledger()
+            .charge_labeled(Phase::Aggregation, stage_id, shuffled);
+        let obs = fuseme_obs::handle();
+        if obs.enabled() {
+            let span = obs.scope_span(fuseme_obs::SpanKind::Stage, || {
+                format!("assemble-{stage_id}")
+            });
+            span.set(fuseme_obs::keys::STAGE_ID, stage_id);
+            span.set(fuseme_obs::keys::PHASE, "aggregation");
+            span.set(fuseme_obs::keys::BYTES, shuffled);
+            span.set(fuseme_obs::keys::TASKS, 0u64);
+        }
         for ((bi, bj), block) in agg_slots {
             result
                 .set_block(bi, bj, (*block).clone())
@@ -902,8 +907,15 @@ mod tests {
             &model,
         )
         .unwrap();
-        execute_fused(&cl_rfo, &f.dag, &f.plan, &f.values, &Strategy::Replication, &model)
-            .unwrap();
+        execute_fused(
+            &cl_rfo,
+            &f.dag,
+            &f.plan,
+            &f.values,
+            &Strategy::Replication,
+            &model,
+        )
+        .unwrap();
         assert!(
             cl_cfo.comm().total() < cl_rfo.comm().total(),
             "CFO {} vs RFO {}",
@@ -963,10 +975,7 @@ mod tests {
         let prod = b.binary(mm, xe, BinOp::Mul);
         let total = b.full_agg(prod, AggOp::Sum);
         let dag = b.finish(vec![total]);
-        let plan = PartialPlan::new(
-            BTreeSet::from([mm.id(), prod.id(), total.id()]),
-            total.id(),
-        );
+        let plan = PartialPlan::new(BTreeSet::from([mm.id(), prod.id(), total.id()]), total.id());
         let bindings: Bindings = [
             ("U".to_string(), Arc::new(u.clone())),
             ("V".to_string(), Arc::new(v.clone())),
@@ -990,8 +999,7 @@ mod tests {
             },
             Strategy::Replication,
         ] {
-            let out =
-                execute_fused(&cluster, &dag, &plan, &values, &strategy, &model).unwrap();
+            let out = execute_fused(&cluster, &dag, &plan, &values, &strategy, &model).unwrap();
             let got = out.get(0, 0).unwrap();
             assert!(
                 (got - expected).abs() < 1e-9 * expected.abs().max(1.0),

@@ -109,10 +109,7 @@ impl<'a> KernelCtx<'a> {
 
     /// Installs aggregated main-multiplication results (stage 2): `eval` on
     /// the main multiplication reads these instead of recomputing.
-    pub fn with_mm_override(
-        mut self,
-        values: &'a HashMap<(usize, usize), Arc<Block>>,
-    ) -> Self {
+    pub fn with_mm_override(mut self, values: &'a HashMap<(usize, usize), Arc<Block>>) -> Self {
         self.mm_override = Some(values);
         self
     }
@@ -146,7 +143,12 @@ impl<'a> KernelCtx<'a> {
         }
     }
 
-    fn eval_uncached(&mut self, node: NodeId, bi: usize, bj: usize) -> Result<Arc<Block>, SimError> {
+    fn eval_uncached(
+        &mut self,
+        node: NodeId,
+        bi: usize,
+        bj: usize,
+    ) -> Result<Arc<Block>, SimError> {
         // Values produced outside the plan come from the local store.
         if !self.ops.contains(&node) {
             return Ok(self.fetch_external(node, bi, bj));
@@ -264,12 +266,8 @@ impl<'a> KernelCtx<'a> {
             OpKind::Binary(op) => {
                 let (l_id, r_id) = (n.inputs[0], n.inputs[1]);
                 match (self.scalar_of(l_id), self.scalar_of(r_id)) {
-                    (Some(s), None) => {
-                        op.apply(s, 0.0) != 0.0 || self.has_support(r_id, bi, bj)
-                    }
-                    (None, Some(s)) => {
-                        op.apply(0.0, s) != 0.0 || self.has_support(l_id, bi, bj)
-                    }
+                    (Some(s), None) => op.apply(s, 0.0) != 0.0 || self.has_support(r_id, bi, bj),
+                    (None, Some(s)) => op.apply(0.0, s) != 0.0 || self.has_support(l_id, bi, bj),
                     (None, None) => {
                         let l = self.has_support(l_id, bi, bj);
                         let r = self.has_support(r_id, bi, bj);
@@ -450,9 +448,7 @@ mod tests {
             .find(|n| matches!(&n.kind, OpKind::Input { name } if name == "X"))
             .unwrap()
             .id;
-        let keys: Vec<_> = (0..4)
-            .flat_map(|i| (0..4).map(move |j| (i, j)))
-            .collect();
+        let keys: Vec<_> = (0..4).flat_map(|i| (0..4).map(move |j| (i, j))).collect();
         let mut emptied = LocalStore::new();
         for ((node, coord), blk) in keys
             .iter()
@@ -511,8 +507,7 @@ mod tests {
                 agg.insert((bi, bj), pre.eval(mm, bi, bj).unwrap());
             }
         }
-        let mut stage2 =
-            KernelCtx::new(&dag, &ops, Some(mm), 0..0, &store).with_mm_override(&agg);
+        let mut stage2 = KernelCtx::new(&dag, &ops, Some(mm), 0..0, &store).with_mm_override(&agg);
         for bi in 0..4 {
             for bj in 0..4 {
                 let got = stage2.eval(root, bi, bj).unwrap().to_dense();
@@ -536,9 +531,7 @@ mod tests {
         assert_eq!(coords.len(), 1 + 2 + 2, "{coords:?}");
         let ks: BTreeSet<usize> = out
             .iter()
-            .filter(|(n, _)| {
-                matches!(&dag.node(*n).kind, OpKind::Input { name } if name == "U")
-            })
+            .filter(|(n, _)| matches!(&dag.node(*n).kind, OpKind::Input { name } if name == "U"))
             .map(|&(_, (_, k))| k)
             .collect();
         assert_eq!(ks, BTreeSet::from([0, 1]));

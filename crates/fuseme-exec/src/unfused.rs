@@ -95,10 +95,7 @@ mod tests {
         let be = b.input("B", *b_m.meta());
         let mm = b.matmul(ae, be);
         let dag = b.finish(vec![mm]);
-        let values: ValueMap = HashMap::from([
-            (ae.id(), Arc::new(a)),
-            (be.id(), Arc::new(b_m)),
-        ]);
+        let values: ValueMap = HashMap::from([(ae.id(), Arc::new(a)), (be.id(), Arc::new(b_m))]);
         let cluster = Cluster::new(ClusterConfig::test_small());
         let m = model(&cluster);
         let (out, pqr) = cuboid_mm(&cluster, &dag, mm.id(), &values, &m).unwrap();
@@ -143,8 +140,10 @@ mod tests {
         let one = Strategy::Cuboid {
             pqr: Pqr { p: 1, q: 1, r: 1 },
         };
-        let mut values: ValueMap =
-            HashMap::from([(xe.id(), Arc::new(x.clone())), (ye.id(), Arc::new(y.clone()))]);
+        let mut values: ValueMap = HashMap::from([
+            (xe.id(), Arc::new(x.clone())),
+            (ye.id(), Arc::new(y.clone())),
+        ]);
         let mid = execute_single(&cluster, &dag, mul.id(), &values, &one, &m).unwrap();
         values.insert(mul.id(), mid);
         let out = execute_single(&cluster, &dag, sq.id(), &values, &one, &m).unwrap();

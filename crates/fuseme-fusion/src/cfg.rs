@@ -52,10 +52,8 @@ impl Cfg {
         let refined = self.exploit(dag, candidates);
         let mut fused = refined;
         if self.fuse_residual_cells {
-            let claimed: BTreeSet<NodeId> = fused
-                .iter()
-                .flat_map(|p| p.ops.iter().copied())
-                .collect();
+            let claimed: BTreeSet<NodeId> =
+                fused.iter().flat_map(|p| p.ops.iter().copied()).collect();
             fused.extend(residual_cell_fusion(dag, &claimed));
         }
         FusionPlan::assemble(dag, fused)
@@ -65,12 +63,7 @@ impl Cfg {
     /// whose main multiplication feeds another member multiplication cannot
     /// split the k-axis, and costing them as if they could would keep
     /// fusions that execute badly.
-    fn exec_cost(
-        &self,
-        dag: &QueryDag,
-        plan: &PartialPlan,
-        tree: &crate::space::SpaceTree,
-    ) -> f64 {
+    fn exec_cost(&self, dag: &QueryDag, plan: &PartialPlan, tree: &crate::space::SpaceTree) -> f64 {
         let max_r = if k_splittable(dag, plan) {
             usize::MAX
         } else {
@@ -93,11 +86,7 @@ impl Cfg {
             // Split points: all member matmuls except the main, most
             // distant from the main first (they compound the most
             // replication, §4.2).
-            let mut sp: Vec<NodeId> = plan
-                .matmuls(dag)
-                .into_iter()
-                .filter(|&v| v != vm)
-                .collect();
+            let mut sp: Vec<NodeId> = plan.matmuls(dag).into_iter().filter(|&v| v != vm).collect();
             sp.sort_by_key(|&v| std::cmp::Reverse((dag.distance(v, vm).unwrap_or(0), v)));
             for vi in sp {
                 if !plan.ops.contains(&vi) {
@@ -198,7 +187,10 @@ fn normalize_candidate(dag: &QueryDag, ops: BTreeSet<NodeId>) -> Vec<PartialPlan
             || dag.consumers(id).iter().any(|c| !ops.contains(c))
     };
     let anchors: Vec<NodeId> = ops.iter().copied().filter(|&id| escapes(id)).collect();
-    debug_assert!(!anchors.is_empty(), "a non-empty region has an escaping member");
+    debug_assert!(
+        !anchors.is_empty(),
+        "a non-empty region has an escaping member"
+    );
     if anchors.len() == 1 && ops.iter().all(|&id| id == anchors[0] || !escapes(id)) {
         return vec![PartialPlan::new(ops, anchors[0])];
     }
@@ -236,8 +228,7 @@ fn normalize_candidate(dag: &QueryDag, ops: BTreeSet<NodeId>) -> Vec<PartialPlan
                 continue;
             }
             for &input in &dag.node(id).inputs {
-                if ops.contains(&input) && !anchors.contains(&input) && !shared.contains(&input)
-                {
+                if ops.contains(&input) && !anchors.contains(&input) && !shared.contains(&input) {
                     stack.push(input);
                 }
             }
@@ -475,8 +466,10 @@ mod tests {
         let refined = cfg.exploit(&dag, candidates.clone());
         // Whether or not a split fires depends on costs; the result must
         // still be a valid partition with every original op covered.
-        let all_before: BTreeSet<NodeId> =
-            candidates.iter().flat_map(|p| p.ops.iter().copied()).collect();
+        let all_before: BTreeSet<NodeId> = candidates
+            .iter()
+            .flat_map(|p| p.ops.iter().copied())
+            .collect();
         let all_after: BTreeSet<NodeId> =
             refined.iter().flat_map(|p| p.ops.iter().copied()).collect();
         assert_eq!(all_before, all_after);

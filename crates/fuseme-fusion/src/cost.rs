@@ -81,7 +81,9 @@ pub fn estimate(
 ) -> Estimates {
     let mut est = Estimates::default();
     match tree {
-        SpaceTree::Flat { ops, ext_inputs, .. } => {
+        SpaceTree::Flat {
+            ops, ext_inputs, ..
+        } => {
             // A plan without matmul: executed as one Cell-style fused
             // operator over T tasks; inputs move once, no replication.
             let divisor = 1; // per-task share handled by caller context
@@ -137,8 +139,7 @@ pub fn estimate(
                         // cells: scale an op's flops by the ratio of the
                         // plan output's density to the op's own.
                         let flops = if o_side {
-                            let op_density =
-                                dag.node(op).meta.density.max(f64::MIN_POSITIVE);
+                            let op_density = dag.node(op).meta.density.max(f64::MIN_POSITIVE);
                             let g = (compute_density / op_density).clamp(0.0, 1.0);
                             (num_ops(dag, op) as f64 * g).max(1.0) as u64
                         } else {
@@ -171,8 +172,7 @@ pub fn estimate(
             // determine R as small as possible"); modeling it explicitly is
             // what produces that tendency.
             if r > 1 {
-                let mm_bytes =
-                    (dag.node(main).meta.size_bytes() as f64 * gate) as u64;
+                let mm_bytes = (dag.node(main).meta.size_bytes() as f64 * gate) as u64;
                 est.net_bytes += (r as u64 - 1) * mm_bytes;
                 est.mem_bytes += mm_bytes / ((p * q).max(1)) as u64;
             }
@@ -264,8 +264,8 @@ mod tests {
         let tree = SpaceTree::build(&dag, &plan);
         let (xs, us, vs) = sizes(&dag);
         let mm = plan.main_matmul(&dag).unwrap();
-        let mm_gated = (dag.node(mm).meta.size_bytes() as f64
-            * dag.node(plan.root).meta.density) as u64;
+        let mm_gated =
+            (dag.node(mm).meta.size_bytes() as f64 * dag.node(plan.root).meta.density) as u64;
         for (p, q, r) in [(1, 1, 1), (2, 3, 1), (3, 2, 2), (6, 6, 2)] {
             let est = estimate(&dag, &plan, &tree, p, q, r);
             let expected = r as u64 * xs
@@ -285,8 +285,8 @@ mod tests {
         let (xs, us, vs) = sizes(&dag);
         let os = dag.node(plan.root).meta.size_bytes();
         let mm = plan.main_matmul(&dag).unwrap();
-        let mm_gated = (dag.node(mm).meta.size_bytes() as f64
-            * dag.node(plan.root).meta.density) as u64;
+        let mm_gated =
+            (dag.node(mm).meta.size_bytes() as f64 * dag.node(plan.root).meta.density) as u64;
         for (p, q, r) in [(2, 3, 2), (1, 1, 1), (6, 6, 2)] {
             let est = estimate(&dag, &plan, &tree, p, q, r);
             let agg = if r > 1 {
@@ -301,7 +301,11 @@ mod tests {
                 + agg;
             // Integer division happens per node, so allow off-by-rounding.
             let diff = est.mem_bytes.abs_diff(expected);
-            assert!(diff <= 8, "at ({p},{q},{r}): {} vs {expected}", est.mem_bytes);
+            assert!(
+                diff <= 8,
+                "at ({p},{q},{r}): {} vs {expected}",
+                est.mem_bytes
+            );
         }
     }
 

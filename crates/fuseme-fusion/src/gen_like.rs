@@ -98,12 +98,7 @@ impl GenLike {
                 OpKind::Binary(op) => {
                     // Does the other operand gate with sparsity?
                     if op.zero_dominant() {
-                        let other = dag
-                            .node(c)
-                            .inputs
-                            .iter()
-                            .copied()
-                            .find(|&i| i != current);
+                        let other = dag.node(c).inputs.iter().copied().find(|&i| i != current);
                         if let Some(other) = other {
                             if dag.node(other).meta.density <= self.sparse_threshold {
                                 sparse_gate = true;

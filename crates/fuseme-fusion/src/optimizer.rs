@@ -99,7 +99,11 @@ impl Search<'_> {
 }
 
 /// Dimensions and parallelism floor of the search for a plan.
-fn search_dims(dag: &QueryDag, plan: &PartialPlan, model: &CostModel) -> Option<(usize, usize, usize, usize)> {
+fn search_dims(
+    dag: &QueryDag,
+    plan: &PartialPlan,
+    model: &CostModel,
+) -> Option<(usize, usize, usize, usize)> {
     let main = plan.main_matmul(dag)?;
     let (i, j, k) = mm_dims(dag, main);
     let slots = model.total_tasks();
@@ -141,7 +145,9 @@ pub fn optimize_exhaustive(
             }
         }
     }
-    finish(best, i, j, k, search.evaluated, start)
+    let result = finish(best, i, j, k, search.evaluated, start);
+    record_search("exhaustive", (i * j * k) as u64, &result);
+    result
 }
 
 /// The paper's pruning search; result is identical to
@@ -215,7 +221,26 @@ pub fn optimize_bounded(
             }
         }
     }
-    finish(best, i, j, k, search.evaluated, start)
+    let result = finish(best, i, j, k, search.evaluated, start);
+    record_search("pruned", (i * j * k) as u64, &result);
+    result
+}
+
+/// Emits a "cuboid-search" trace event recording the searched space, how
+/// much of it was actually evaluated, and the winning cuboid.
+fn record_search(mode: &'static str, space: u64, result: &OptResult) {
+    fuseme_obs::handle().event("cuboid-search", || {
+        vec![
+            ("mode".to_string(), mode.into()),
+            ("space".to_string(), space.into()),
+            ("evaluated".to_string(), result.stats.evaluated.into()),
+            ("p".to_string(), (result.pqr.p as u64).into()),
+            ("q".to_string(), (result.pqr.q as u64).into()),
+            ("r".to_string(), (result.pqr.r as u64).into()),
+            ("cost".to_string(), result.cost.into()),
+            ("feasible".to_string(), result.feasible.into()),
+        ]
+    });
 }
 
 /// Binary search for the smallest `p` in `1..=max_p` with
@@ -228,8 +253,7 @@ fn smallest_feasible_p(
     max_p: usize,
 ) -> Option<usize> {
     let limit = budget(model);
-    let fits =
-        |search: &mut Search<'_>, p: usize| search.estimate(p, q, r).mem_bytes <= limit;
+    let fits = |search: &mut Search<'_>, p: usize| search.estimate(p, q, r).mem_bytes <= limit;
     if !fits(search, max_p) {
         return None;
     }
@@ -301,7 +325,11 @@ fn flat_result(
     let feasible = est.mem_bytes <= budget(model);
     OptResult {
         pqr: Pqr { p: 1, q: 1, r: 1 },
-        cost: if feasible { model.cost(&est) } else { f64::INFINITY },
+        cost: if feasible {
+            model.cost(&est)
+        } else {
+            f64::INFINITY
+        },
         est,
         feasible,
         stats: SearchStats {

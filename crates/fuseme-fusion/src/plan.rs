@@ -65,9 +65,7 @@ impl PartialPlan {
             })
             .collect();
         let pool = if eligible.is_empty() { &mms } else { &eligible };
-        pool.iter()
-            .copied()
-            .max_by_key(|&id| (voxels(dag, id), id))
+        pool.iter().copied().max_by_key(|&id| (voxels(dag, id), id))
     }
 
     /// External inputs: nodes outside the plan (input leaves, scalar
@@ -106,9 +104,7 @@ impl PartialPlan {
                 }
                 for &c in dag.consumers(id) {
                     if !self.ops.contains(&c) {
-                        return Err(format!(
-                            "member {id} is consumed by {c} outside the plan"
-                        ));
+                        return Err(format!("member {id} is consumed by {c} outside the plan"));
                     }
                 }
                 if dag.roots().contains(&id) {
@@ -422,10 +418,7 @@ mod tests {
         let mm2 = b.matmul(c, a);
         let join = b.binary(mm1, mm2, fuseme_matrix::BinOp::Add);
         let dag = b.finish(vec![join]);
-        let p = PartialPlan::new(
-            BTreeSet::from([mm1.id(), mm2.id(), join.id()]),
-            join.id(),
-        );
+        let p = PartialPlan::new(BTreeSet::from([mm1.id(), mm2.id(), join.id()]), join.id());
         assert_eq!(p.main_matmul(&dag), Some(mm2.id()), "tie → higher id");
     }
 }

@@ -187,9 +187,9 @@ fn build_region(
                 .filter(|&m| {
                     // No other matmul in the region is reachable from m via
                     // consumer edges inside the region.
-                    !matmuls.iter().any(|&other| {
-                        other != m && reachable_via_consumers(dag, region, m, other)
-                    })
+                    !matmuls
+                        .iter()
+                        .any(|&other| other != m && reachable_via_consumers(dag, region, m, other))
                 })
                 .collect();
             topmost
@@ -208,9 +208,7 @@ fn build_region(
     let o_region: BTreeSet<NodeId> = region
         .iter()
         .copied()
-        .filter(|id| {
-            *id != centre && !left_region.contains(id) && !right_region.contains(id)
-        })
+        .filter(|id| *id != centre && !left_region.contains(id) && !right_region.contains(id))
         .collect();
 
     // Pass-through subspaces: a side with no in-region operators still needs
@@ -223,7 +221,13 @@ fn build_region(
     let r = if right_region.is_empty() {
         Box::new(passthrough(dag, node.inputs[1], plan))
     } else {
-        Box::new(build_region(dag, &right_region, node.inputs[1], false, plan))
+        Box::new(build_region(
+            dag,
+            &right_region,
+            node.inputs[1],
+            false,
+            plan,
+        ))
     };
     let o = if o_region.is_empty() {
         // The matmul is the region root: output materializes straight from
@@ -237,7 +241,12 @@ fn build_region(
         debug_assert!(o_region.contains(&root));
         Box::new(build_region(dag, &o_region, root, holds_output, plan))
     };
-    SpaceTree::Mm { mm: centre, l, r, o }
+    SpaceTree::Mm {
+        mm: centre,
+        l,
+        r,
+        o,
+    }
 }
 
 /// A flat region for the given member operators.
@@ -282,11 +291,7 @@ fn passthrough(dag: &QueryDag, input: NodeId, plan: &PartialPlan) -> SpaceTree {
 
 /// Member operators upstream of (and including) `from`, staying inside the
 /// region.
-fn upstream_within(
-    dag: &QueryDag,
-    region: &BTreeSet<NodeId>,
-    from: NodeId,
-) -> BTreeSet<NodeId> {
+fn upstream_within(dag: &QueryDag, region: &BTreeSet<NodeId>, from: NodeId) -> BTreeSet<NodeId> {
     let mut out = BTreeSet::new();
     let mut stack = vec![from];
     while let Some(id) = stack.pop() {
@@ -360,13 +365,19 @@ mod tests {
         };
         assert_eq!(*mm, plan.matmuls(&dag)[0]);
         // L-space: pass-through U.
-        let SpaceTree::Flat { ops, ext_inputs, .. } = l.as_ref() else {
+        let SpaceTree::Flat {
+            ops, ext_inputs, ..
+        } = l.as_ref()
+        else {
             panic!("L must be flat");
         };
         assert!(ops.is_empty());
         assert_eq!(ext_inputs.len(), 1);
         // R-space: the transpose with external input V.
-        let SpaceTree::Flat { ops, ext_inputs, .. } = r.as_ref() else {
+        let SpaceTree::Flat {
+            ops, ext_inputs, ..
+        } = r.as_ref()
+        else {
             panic!("R must be flat");
         };
         assert_eq!(ops.len(), 1);
@@ -408,7 +419,10 @@ mod tests {
         let repls: Vec<u64> = seen.iter().map(|&(_, r)| r).collect();
         assert!(repls.contains(&(q as u64)), "L input replicated Q times");
         assert!(repls.contains(&(p as u64)), "R input replicated P times");
-        assert!(repls.iter().filter(|&&x| x == r as u64).count() >= 1, "O inputs replicated R times");
+        assert!(
+            repls.iter().filter(|&&x| x == r as u64).count() >= 1,
+            "O inputs replicated R times"
+        );
     }
 
     #[test]
@@ -462,7 +476,9 @@ mod tests {
         // nesting inside its L- and R-spaces.
         assert_eq!(tree.main_matmul(), Some(v4));
         assert!(mms.contains(&v1) && mms.contains(&v2));
-        let SpaceTree::Mm { l, r, .. } = &tree else { panic!() };
+        let SpaceTree::Mm { l, r, .. } = &tree else {
+            panic!()
+        };
         assert_eq!(l.main_matmul(), Some(v2));
         assert_eq!(r.main_matmul(), Some(v1));
     }

@@ -2,7 +2,6 @@
 //! optimizer's equivalence with exhaustive search, and planner validity on
 //! randomized query DAGs.
 
-
 use proptest::prelude::*;
 
 use fuseme_fusion::cfg::{explore, Cfg};

@@ -87,16 +87,16 @@ fn resolve(
         return Ok(*v);
     }
     if let Some(meta) = inputs.get(name) {
-        let node = builder
-            .try_input(name, *meta)
-            .map_err(|e| LowerError {
-                message: e.to_string(),
-            })?;
+        let node = builder.try_input(name, *meta).map_err(|e| LowerError {
+            message: e.to_string(),
+        })?;
         let v = Value::Node(node);
         env.insert(name.to_string(), v);
         return Ok(v);
     }
-    err(format!("unknown name '{name}' (not assigned, not an input)"))
+    err(format!(
+        "unknown name '{name}' (not assigned, not an input)"
+    ))
 }
 
 fn lower_expr(
@@ -112,13 +112,11 @@ fn lower_expr(
             let v = lower_expr(inner, builder, env, inputs)?;
             match v {
                 Value::Scalar(s) => Ok(Value::Scalar(-s)),
-                Value::Node(n) => Ok(Value::Node(
-                    builder
-                        .try_unary(n, UnaryOp::Neg)
-                        .map_err(|e| LowerError {
-                            message: e.to_string(),
-                        })?,
-                )),
+                Value::Node(n) => Ok(Value::Node(builder.try_unary(n, UnaryOp::Neg).map_err(
+                    |e| LowerError {
+                        message: e.to_string(),
+                    },
+                )?)),
             }
         }
         Expr::Binary { op, left, right } => {
@@ -303,10 +301,7 @@ mod tests {
     fn compile(src: &str, inputs: &[(&str, MatrixMeta)]) -> Result<QueryDag, LowerError> {
         let tokens = tokenize(src).unwrap();
         let program = parse(&tokens).unwrap();
-        let map = inputs
-            .iter()
-            .map(|(n, m)| (n.to_string(), *m))
-            .collect();
+        let map = inputs.iter().map(|(n, m)| (n.to_string(), *m)).collect();
         lower(&program, &map)
     }
 

@@ -68,9 +68,7 @@ impl Parser<'_> {
     fn expect_newline(&mut self) -> Result<(), ParseError> {
         match self.bump() {
             Some(Token::Newline) => Ok(()),
-            other => Err(self.err(format!(
-                "expected end of statement, found {other:?}"
-            ))),
+            other => Err(self.err(format!("expected end of statement, found {other:?}"))),
         }
     }
 
@@ -87,9 +85,9 @@ impl Parser<'_> {
                     match self.bump() {
                         Some(Token::Ident(n)) => names.push(n.clone()),
                         other => {
-                            return Err(self.err(format!(
-                                "expected name after 'output', found {other:?}"
-                            )))
+                            return Err(
+                                self.err(format!("expected name after 'output', found {other:?}"))
+                            )
                         }
                     }
                     if matches!(self.peek(), Some(Token::Comma)) {
@@ -107,9 +105,9 @@ impl Parser<'_> {
                 match self.bump() {
                     Some(Token::Assign) => {}
                     other => {
-                        return Err(self.err(format!(
-                            "expected '=' after '{name}', found {other:?}"
-                        )))
+                        return Err(
+                            self.err(format!("expected '=' after '{name}', found {other:?}"))
+                        )
                     }
                 }
                 let expr = self.expression()?;
@@ -237,9 +235,7 @@ impl Parser<'_> {
                     }
                     match self.bump() {
                         Some(Token::RParen) => Ok(Expr::Call { name, args }),
-                        other => {
-                            Err(self.err(format!("expected ')', found {other:?}")))
-                        }
+                        other => Err(self.err(format!("expected ')', found {other:?}"))),
                     }
                 } else {
                     Ok(Expr::Ident(name))
@@ -275,7 +271,9 @@ mod tests {
     fn matmul_binds_tighter_than_elementwise() {
         // U * X %*% V  ==  U * (X %*% V)
         let e = parse_expr("U * X %*% V");
-        let Expr::Binary { op, right, .. } = e else { panic!() };
+        let Expr::Binary { op, right, .. } = e else {
+            panic!()
+        };
         assert_eq!(op, BinaryOp::Mul);
         assert!(matches!(
             *right,
@@ -289,17 +287,33 @@ mod tests {
     #[test]
     fn additive_looser_than_multiplicative() {
         let e = parse_expr("a + b * c");
-        let Expr::Binary { op, right, .. } = e else { panic!() };
+        let Expr::Binary { op, right, .. } = e else {
+            panic!()
+        };
         assert_eq!(op, BinaryOp::Add);
-        assert!(matches!(*right, Expr::Binary { op: BinaryOp::Mul, .. }));
+        assert!(matches!(
+            *right,
+            Expr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn power_is_right_associative_and_tight() {
         let e = parse_expr("x ^ 2 + 1");
-        let Expr::Binary { op, left, .. } = e else { panic!() };
+        let Expr::Binary { op, left, .. } = e else {
+            panic!()
+        };
         assert_eq!(op, BinaryOp::Add);
-        assert!(matches!(*left, Expr::Binary { op: BinaryOp::Pow, .. }));
+        assert!(matches!(
+            *left,
+            Expr::Binary {
+                op: BinaryOp::Pow,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -312,7 +326,9 @@ mod tests {
     #[test]
     fn call_parsing() {
         let e = parse_expr("sum((X != 0) * (X - U %*% V)^2)");
-        let Expr::Call { name, args } = e else { panic!() };
+        let Expr::Call { name, args } = e else {
+            panic!()
+        };
         assert_eq!(name, "sum");
         assert_eq!(args.len(), 1);
     }
@@ -320,7 +336,9 @@ mod tests {
     #[test]
     fn unary_minus() {
         let e = parse_expr("-x + 1");
-        let Expr::Binary { left, .. } = e else { panic!() };
+        let Expr::Binary { left, .. } = e else {
+            panic!()
+        };
         assert!(matches!(*left, Expr::Neg(_)));
     }
 
@@ -344,7 +362,9 @@ mod tests {
 
     #[test]
     fn multi_statement_program() {
-        let tokens = tokenize("numU = U * (t(V) %*% X)\ndenU = t(V) %*% V %*% U\nout = numU / denU").unwrap();
+        let tokens =
+            tokenize("numU = U * (t(V) %*% X)\ndenU = t(V) %*% V %*% U\nout = numU / denU")
+                .unwrap();
         let prog = parse(&tokens).unwrap();
         assert_eq!(prog.stmts.len(), 3);
         assert_eq!(prog.output_names(), vec!["out"]);

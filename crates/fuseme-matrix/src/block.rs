@@ -147,7 +147,8 @@ impl Block {
             Block::Sparse(b) => {
                 if op.apply(0.0, scalar) == 0.0 {
                     let mut out = b.clone();
-                    let dense_vals: Vec<f64> = out.iter().map(|(_, _, v)| op.apply(v, scalar)).collect();
+                    let dense_vals: Vec<f64> =
+                        out.iter().map(|(_, _, v)| op.apply(v, scalar)).collect();
                     // Rebuild via triples to drop any entries that became zero.
                     let triples: Vec<_> = out
                         .iter()

@@ -64,7 +64,9 @@ pub fn sparse_uniform(
         // and by a Poisson-like expected count for large blocks.
         let expected = cells as f64 * density;
         let nnz = if cells <= 4096 {
-            (0..cells).filter(|_| rng.gen_bool(density.clamp(0.0, 1.0))).count()
+            (0..cells)
+                .filter(|_| rng.gen_bool(density.clamp(0.0, 1.0)))
+                .count()
         } else {
             let jitter = rng.gen_range(-0.05..0.05) * expected;
             ((expected + jitter).round() as usize).min(cells)

@@ -451,8 +451,7 @@ pub fn from_triples(
 ) -> Result<BlockedMatrix> {
     let meta = MatrixMeta::sparse(rows, cols, block_size, 0.0);
     let grid = meta.grid();
-    let mut per_block: Vec<Vec<(usize, usize, f64)>> =
-        vec![Vec::new(); grid.num_blocks() as usize];
+    let mut per_block: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); grid.num_blocks() as usize];
     for &(r, c, v) in triples {
         if r >= rows || c >= cols {
             return Err(Error::OutOfBounds {
@@ -490,7 +489,10 @@ mod tests {
         let m = small(5, 7, 3);
         assert_eq!(m.get(0, 0).unwrap(), 1.0);
         assert_eq!(m.get(4, 6).unwrap(), 35.0);
-        assert_eq!(m.to_dense_vec(), (1..=35).map(|i| i as f64).collect::<Vec<_>>());
+        assert_eq!(
+            m.to_dense_vec(),
+            (1..=35).map(|i| i as f64).collect::<Vec<_>>()
+        );
     }
 
     #[test]

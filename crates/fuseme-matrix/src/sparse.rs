@@ -36,7 +36,11 @@ impl SparseBlock {
 
     /// Builds a block from `(row, col, value)` triples. Triples may arrive
     /// in any order; duplicates are rejected.
-    pub fn from_triples(rows: usize, cols: usize, mut triples: Vec<(usize, usize, f64)>) -> Result<Self> {
+    pub fn from_triples(
+        rows: usize,
+        cols: usize,
+        mut triples: Vec<(usize, usize, f64)>,
+    ) -> Result<Self> {
         for &(r, c, _) in &triples {
             if r >= rows || c >= cols {
                 return Err(Error::OutOfBounds {
@@ -97,7 +101,9 @@ impl SparseBlock {
         }
         for r in 0..rows {
             if row_ptr[r] > row_ptr[r + 1] {
-                return Err(Error::InvalidSparse(format!("row_ptr not monotone at row {r}")));
+                return Err(Error::InvalidSparse(format!(
+                    "row_ptr not monotone at row {r}"
+                )));
             }
             let slice = &col_idx[row_ptr[r]..row_ptr[r + 1]];
             for w in slice.windows(2) {
@@ -199,7 +205,8 @@ impl SparseBlock {
             }
         }
         // Triples are produced sorted and unique, so this cannot fail.
-        SparseBlock::from_triples(dense.rows(), dense.cols(), triples).expect("dense scan yields valid triples")
+        SparseBlock::from_triples(dense.rows(), dense.cols(), triples)
+            .expect("dense scan yields valid triples")
     }
 
     /// Applies a zero-preserving unary operation to the stored values.
@@ -447,8 +454,12 @@ mod tests {
         // [1 0 2]
         // [0 0 0]
         // [3 4 0]
-        SparseBlock::from_triples(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
-            .unwrap()
+        SparseBlock::from_triples(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -459,7 +470,10 @@ mod tests {
         assert_eq!(s.get(0, 1), 0.0);
         assert_eq!(s.get(2, 1), 4.0);
         let triples: Vec<_> = s.iter().collect();
-        assert_eq!(triples, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]);
+        assert_eq!(
+            triples,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
+        );
     }
 
     #[test]

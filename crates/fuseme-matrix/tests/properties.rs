@@ -22,16 +22,23 @@ fn dense_block() -> impl Strategy<Value = DenseBlock> {
 /// Strategy: a sparse block with the same value model and ~30% fill.
 fn sparse_block() -> impl Strategy<Value = SparseBlock> {
     (1usize..=8, 1usize..=8).prop_flat_map(|(r, c)| {
-        proptest::collection::vec((0usize..r, 0usize..c, (-8i32..=8).prop_filter("nz", |v| *v != 0)), 0..=(r * c) / 2)
-            .prop_map(move |entries| {
-                let mut seen = std::collections::BTreeSet::new();
-                let triples: Vec<(usize, usize, f64)> = entries
-                    .into_iter()
-                    .filter(|&(er, ec, _)| seen.insert((er, ec)))
-                    .map(|(er, ec, v)| (er, ec, v as f64 / 2.0))
-                    .collect();
-                SparseBlock::from_triples(r, c, triples).unwrap()
-            })
+        proptest::collection::vec(
+            (
+                0usize..r,
+                0usize..c,
+                (-8i32..=8).prop_filter("nz", |v| *v != 0),
+            ),
+            0..=(r * c) / 2,
+        )
+        .prop_map(move |entries| {
+            let mut seen = std::collections::BTreeSet::new();
+            let triples: Vec<(usize, usize, f64)> = entries
+                .into_iter()
+                .filter(|&(er, ec, _)| seen.insert((er, ec)))
+                .map(|(er, ec, v)| (er, ec, v as f64 / 2.0))
+                .collect();
+            SparseBlock::from_triples(r, c, triples).unwrap()
+        })
     })
 }
 

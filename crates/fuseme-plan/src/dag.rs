@@ -159,10 +159,7 @@ impl QueryDag {
         let mut queue = std::collections::VecDeque::from([a]);
         while let Some(n) = queue.pop_front() {
             let d = dist[n] + 1;
-            let neighbors = self.nodes[n]
-                .inputs
-                .iter()
-                .chain(self.consumers[n].iter());
+            let neighbors = self.nodes[n].inputs.iter().chain(self.consumers[n].iter());
             for &m in neighbors {
                 if dist[m] == usize::MAX {
                     dist[m] = d;
@@ -236,7 +233,11 @@ impl fmt::Display for QueryDag {
     /// Renders the DAG one node per line, e.g. `3: b(*) <- [0, 2]  [100x100 d=0.10]`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for n in &self.nodes {
-            let root_mark = if self.roots.contains(&n.id) { " (root)" } else { "" };
+            let root_mark = if self.roots.contains(&n.id) {
+                " (root)"
+            } else {
+                ""
+            };
             writeln!(
                 f,
                 "{}: {} <- {:?}  [{}x{} d={:.3}]{root_mark}",

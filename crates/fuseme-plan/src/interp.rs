@@ -111,9 +111,7 @@ pub fn evaluate_all(dag: &QueryDag, inputs: &Bindings) -> Result<Vec<Value>, Eva
                     (Value::Matrix(m), Value::Scalar(s)) => {
                         Value::Matrix(Arc::new(m.zip_scalar(*s, *op)?))
                     }
-                    (Value::Matrix(a), Value::Matrix(b)) => {
-                        Value::Matrix(Arc::new(a.zip(b, *op)?))
-                    }
+                    (Value::Matrix(a), Value::Matrix(b)) => Value::Matrix(Arc::new(a.zip(b, *op)?)),
                     (Value::Scalar(_), Value::Scalar(_)) => {
                         return Err(EvalError::Unbound(
                             "binary op between two scalars reached the interpreter".into(),
@@ -193,7 +191,11 @@ mod tests {
 
         let expected = {
             let uvt = u.matmul(&v.transpose().unwrap()).unwrap();
-            let lg = uvt.zip_scalar(0.5, BinOp::Add).unwrap().map(UnaryOp::Log).unwrap();
+            let lg = uvt
+                .zip_scalar(0.5, BinOp::Add)
+                .unwrap()
+                .map(UnaryOp::Log)
+                .unwrap();
             x.zip(&lg, BinOp::Mul).unwrap()
         };
         let out = evaluate(&dag, &bind(vec![("X", x), ("U", u), ("V", v)])).unwrap();
@@ -259,7 +261,13 @@ mod tests {
         let t = b.transpose(xs);
         let out = b.matmul(t, xe);
         let dag = b.finish(vec![out]);
-        let expected = x.matmul(&s).unwrap().transpose().unwrap().matmul(&x).unwrap();
+        let expected = x
+            .matmul(&s)
+            .unwrap()
+            .transpose()
+            .unwrap()
+            .matmul(&x)
+            .unwrap();
         let got = evaluate(&dag, &bind(vec![("X", x), ("S", s)])).unwrap();
         assert!(got[0].as_matrix().unwrap().approx_eq(&expected, 1e-9));
     }

@@ -104,10 +104,7 @@ fn rebuild(dag: &QueryDag, repl: &HashMap<NodeId, Replacement>) -> QueryDag {
             Some(Replacement::Scalar(v)) => (OpKind::Scalar(*v), Vec::new()),
             _ => (
                 old.kind.clone(),
-                old.inputs
-                    .iter()
-                    .map(|&i| new_ids[&resolve(i)])
-                    .collect(),
+                old.inputs.iter().map(|&i| new_ids[&resolve(i)]).collect(),
             ),
         };
         nodes.push(Node {
@@ -143,7 +140,9 @@ mod tests {
         let out = rewrite(&dag);
         out.validate().unwrap();
         assert!(
-            !out.nodes().iter().any(|n| matches!(n.kind, OpKind::Transpose)),
+            !out.nodes()
+                .iter()
+                .any(|n| matches!(n.kind, OpKind::Transpose)),
             "transposes should be gone:\n{out}"
         );
         assert_eq!(out.len(), 2); // X, u(^2)

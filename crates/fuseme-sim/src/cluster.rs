@@ -1,5 +1,7 @@
 //! Cluster configuration and the stateful cluster handle.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -48,12 +50,12 @@ impl ClusterConfig {
         ClusterConfig {
             nodes: 8,
             tasks_per_node: 12,
-            mem_per_task: 10 * (1 << 30),          // 10 GB
-            net_bandwidth: 125_000_000.0,          // 1 Gbps
-            compute_bandwidth: 546e9,              // 546 GFLOPS (§6.3)
-            timeout_secs: 12.0 * 3600.0,           // "T.O." threshold
+            mem_per_task: 10 * (1 << 30), // 10 GB
+            net_bandwidth: 125_000_000.0, // 1 Gbps
+            compute_bandwidth: 546e9,     // 546 GFLOPS (§6.3)
+            timeout_secs: 12.0 * 3600.0,  // "T.O." threshold
             stage_overhead_secs: 0.5,
-            partition_bytes: 128 << 20,            // Spark default block
+            partition_bytes: 128 << 20, // Spark default block
         }
     }
 
@@ -108,6 +110,7 @@ pub struct Cluster {
     config: ClusterConfig,
     ledger: CommLedger,
     clock: Mutex<SimClock>,
+    next_stage: AtomicU64,
 }
 
 impl Cluster {
@@ -117,6 +120,7 @@ impl Cluster {
             config,
             ledger: CommLedger::new(),
             clock: Mutex::new(SimClock::new()),
+            next_stage: AtomicU64::new(0),
         }
     }
 
@@ -145,10 +149,18 @@ impl Cluster {
         &self.clock
     }
 
-    /// Resets ledger and clock for a fresh measurement run.
+    /// Allocates a cluster-unique stage id, used to attribute ledger
+    /// charges and trace spans to the same stage.
+    pub fn next_stage_id(&self) -> u64 {
+        self.next_stage.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Resets ledger, clock, and stage-id counter for a fresh measurement
+    /// run.
     pub fn reset(&self) {
         self.ledger.reset();
         *self.clock.lock() = SimClock::new();
+        self.next_stage.store(0, Ordering::Relaxed);
     }
 }
 

@@ -1,11 +1,20 @@
 //! Wave-based parallel stage executor.
 
 use crossbeam::channel;
+use fuseme_obs::{keys, SpanKind};
 
 use crate::cluster::Cluster;
 use crate::ledger::Phase;
 use crate::time::TaskCost;
 use crate::SimError;
+
+/// Trace label for a ledger phase.
+pub fn phase_label(phase: Phase) -> &'static str {
+    match phase {
+        Phase::Consolidation => "consolidation",
+        Phase::Aggregation => "aggregation",
+    }
+}
 
 /// One simulated task: declared resource usage plus the real computation to
 /// run. `task_id` orders tasks into scheduling waves; ids are dense within a
@@ -47,13 +56,24 @@ pub struct StageOutcome<T> {
 ///    simulations of hopeless configurations cheap;
 /// 4. real execution on a thread pool; outputs are reassembled in task
 ///    order, so downstream code is deterministic.
-pub fn run_stage<'a, T: Send>(
+pub fn run_stage<'a, T: Send + 'a>(
     cluster: &Cluster,
     phase: Phase,
     mut tasks: Vec<TaskWork<'a, T>>,
 ) -> Result<StageOutcome<T>, SimError> {
     let config = *cluster.config();
     tasks.sort_by_key(|t| t.task_id);
+
+    let obs = fuseme_obs::handle();
+    let stage_id = cluster.next_stage_id();
+    let span = obs.scope_span(SpanKind::Stage, || format!("stage-{stage_id}"));
+    span.set(keys::STAGE_ID, stage_id);
+    span.set(keys::PHASE, phase_label(phase));
+    span.set(keys::TASKS, tasks.len() as u64);
+    span.set(
+        keys::PEAK_MEM,
+        tasks.iter().map(|t| t.mem_bytes).max().unwrap_or(0),
+    );
 
     // 1. Memory admission.
     for t in &tasks {
@@ -66,9 +86,14 @@ pub fn run_stage<'a, T: Send>(
         }
     }
 
-    // 2. Network charges.
+    // 2. Network charges, attributed to this stage so the trace's per-stage
+    // byte sums reconcile exactly with the ledger totals.
     let total_bytes: u64 = tasks.iter().map(|t| t.recv_bytes).sum();
-    cluster.ledger().charge(phase, total_bytes);
+    cluster
+        .ledger()
+        .charge_labeled(phase, stage_id, total_bytes);
+    span.set(keys::BYTES, total_bytes);
+    span.set(keys::FLOPS, tasks.iter().map(|t| t.flops).sum::<u64>());
 
     // 3. Simulated time + timeout.
     let costs: Vec<TaskCost> = tasks
@@ -80,8 +105,9 @@ pub fn run_stage<'a, T: Send>(
         .collect();
     let sim_secs = {
         let mut clock = cluster.clock().lock();
+        let sim_before = clock.elapsed_secs();
         clock.advance(config.stage_overhead_secs);
-        let stage = clock.advance_stage(
+        let sched = clock.advance_stage_schedule(
             &costs,
             config.total_tasks(),
             config.task_net_bandwidth(),
@@ -99,13 +125,25 @@ pub fn run_stage<'a, T: Send>(
             let max_flops = costs.iter().map(|c| c.flops).max().unwrap_or(0);
             eprintln!(
                 "[sim] stage {:>8.2}s tasks {:>5} max_bytes {:>10} max_flops {:>12}",
-                stage,
+                sched.total_secs,
                 costs.len(),
                 max_bytes,
                 max_flops
             );
         }
-        stage + config.stage_overhead_secs
+        let sim_secs = sched.total_secs + config.stage_overhead_secs;
+        span.set_sim(sim_before, sim_secs);
+        if span.enabled() {
+            span.set(keys::WAVES, sched.waves.len() as u64);
+            let mut wave_start = sim_before + config.stage_overhead_secs;
+            for (w, slot) in sched.waves.iter().enumerate() {
+                let wspan = obs.child_span(SpanKind::Wave, span.id(), || format!("wave-{w}"));
+                wspan.set(keys::TASKS, slot.tasks as u64);
+                wspan.set_sim(wave_start, slot.secs);
+                wave_start += slot.secs;
+            }
+        }
+        sim_secs
     };
 
     // 4. Real execution.
@@ -115,8 +153,25 @@ pub fn run_stage<'a, T: Send>(
         .unwrap_or(4)
         .min(n.max(1));
     let (job_tx, job_rx) = channel::unbounded();
+    let traced = span.enabled();
+    let stage_span = span.id();
     for (idx, t) in tasks.into_iter().enumerate() {
-        job_tx.send((idx, t.job)).expect("unbounded send");
+        // Workers can't see this thread's scope stack, so task spans get
+        // their parent passed explicitly — and only when tracing is on.
+        let job = if traced {
+            let obs = obs.clone();
+            let task_id = t.task_id;
+            let inner = t.job;
+            Box::new(move || {
+                let tspan =
+                    obs.child_span(SpanKind::Task, stage_span, || format!("task-{task_id}"));
+                tspan.set(keys::TASK_ID, task_id as u64);
+                inner()
+            }) as Box<dyn FnOnce() -> Result<T, SimError> + Send + 'a>
+        } else {
+            t.job
+        };
+        job_tx.send((idx, job)).expect("unbounded send");
     }
     drop(job_tx);
 
@@ -222,8 +277,7 @@ mod tests {
         cfg.timeout_secs = 1.0;
         cfg.net_bandwidth = 1.0; // 1 byte/sec per node
         let cluster = Cluster::new(cfg);
-        let err = run_stage(&cluster, Phase::Consolidation, vec![work(0, 1000, 1, 0)])
-            .unwrap_err();
+        let err = run_stage(&cluster, Phase::Consolidation, vec![work(0, 1000, 1, 0)]).unwrap_err();
         assert!(matches!(err, SimError::Timeout { .. }));
     }
 
@@ -261,6 +315,57 @@ mod tests {
     }
 
     #[test]
+    fn stage_spans_reconcile_with_ledger() {
+        let mut cfg = ClusterConfig::test_small();
+        cfg.nodes = 1;
+        cfg.tasks_per_node = 2;
+        let cluster = Cluster::new(cfg);
+        let rec = fuseme_obs::Recorder::new();
+        fuseme_obs::install(&rec);
+        let tasks = (0..4).map(|i| work(i, 100, 1, 0)).collect();
+        run_stage(&cluster, Phase::Consolidation, tasks).unwrap();
+        let tasks = (0..2).map(|i| work(i, 25, 1, 0)).collect();
+        run_stage(&cluster, Phase::Aggregation, tasks).unwrap();
+        fuseme_obs::uninstall();
+
+        let summary = fuseme_obs::summarize(&rec);
+        let comm = cluster.comm();
+        assert_eq!(summary.consolidation_bytes, comm.consolidation_bytes);
+        assert_eq!(summary.aggregation_bytes, comm.aggregation_bytes);
+        assert_eq!(summary.total_bytes(), 450);
+
+        let spans = rec.spans();
+        let stages: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Stage).collect();
+        assert_eq!(stages.len(), 2);
+        // Waves and tasks hang off their stage spans.
+        let waves = spans.iter().filter(|s| s.kind == SpanKind::Wave).count();
+        assert_eq!(waves, 2 + 1); // 4 tasks / 2 slots, then 2 tasks / 2 slots
+        let task_spans: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Task).collect();
+        assert_eq!(task_spans.len(), 6);
+        for t in task_spans {
+            assert!(stages.iter().any(|s| s.id == t.parent));
+        }
+        // The per-stage ledger breakdown matches the span attribution.
+        let by_stage = cluster.ledger().stage_breakdown();
+        for s in stages {
+            let id = s.attr(keys::STAGE_ID).and_then(|v| v.as_u64()).unwrap();
+            let bytes = s.attr(keys::BYTES).and_then(|v| v.as_u64()).unwrap();
+            assert_eq!(by_stage[&id].total(), bytes);
+        }
+    }
+
+    #[test]
+    fn untraced_stage_records_nothing() {
+        let cluster = Cluster::new(ClusterConfig::test_small());
+        let tasks = (0..2).map(|i| work(i, 10, 1, 0)).collect();
+        run_stage(&cluster, Phase::Consolidation, tasks).unwrap();
+        // No recorder installed: totals still accumulate, including the
+        // per-stage breakdown used for reconciliation.
+        assert_eq!(cluster.comm().consolidation_bytes, 20);
+        assert_eq!(cluster.ledger().stage_breakdown().len(), 1);
+    }
+
+    #[test]
     fn real_parallel_execution_happens() {
         let cluster = Cluster::new(ClusterConfig::test_small());
         let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
@@ -272,9 +377,7 @@ mod tests {
                     recv_bytes: 0,
                     mem_bytes: 0,
                     flops: 0,
-                    job: Box::new(move || {
-                        Ok(c.fetch_add(1, std::sync::atomic::Ordering::SeqCst))
-                    }),
+                    job: Box::new(move || Ok(c.fetch_add(1, std::sync::atomic::Ordering::SeqCst))),
                 }
             })
             .collect();

@@ -1,7 +1,9 @@
 //! Communication accounting.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// The two network phases of a distributed fused operator (paper §2.2):
@@ -25,6 +27,7 @@ pub enum Phase {
 pub struct CommLedger {
     consolidation: AtomicU64,
     aggregation: AtomicU64,
+    per_stage: Mutex<BTreeMap<u64, CommStats>>,
 }
 
 /// A point-in-time copy of ledger totals.
@@ -65,6 +68,21 @@ impl CommLedger {
         };
     }
 
+    /// Records `bytes` of traffic in the given phase, attributed to a
+    /// stage. Totals include labeled charges; `stage_breakdown` decomposes
+    /// them per stage, so when every charge is labeled the breakdown sums
+    /// exactly to `snapshot()` — the invariant the tracing subsystem's
+    /// per-stage spans rely on.
+    pub fn charge_labeled(&self, phase: Phase, stage_id: u64, bytes: u64) {
+        self.charge(phase, bytes);
+        let mut per_stage = self.per_stage.lock();
+        let entry = per_stage.entry(stage_id).or_default();
+        match phase {
+            Phase::Consolidation => entry.consolidation_bytes += bytes,
+            Phase::Aggregation => entry.aggregation_bytes += bytes,
+        }
+    }
+
     /// Current totals.
     pub fn snapshot(&self) -> CommStats {
         CommStats {
@@ -73,10 +91,16 @@ impl CommLedger {
         }
     }
 
-    /// Resets both counters to zero.
+    /// Per-stage totals of labeled charges, keyed by stage id.
+    pub fn stage_breakdown(&self) -> BTreeMap<u64, CommStats> {
+        self.per_stage.lock().clone()
+    }
+
+    /// Resets both counters and the per-stage breakdown to zero.
     pub fn reset(&self) {
         self.consolidation.store(0, Ordering::Relaxed);
         self.aggregation.store(0, Ordering::Relaxed);
+        self.per_stage.lock().clear();
     }
 }
 
@@ -114,6 +138,58 @@ mod tests {
         l.charge(Phase::Aggregation, 9);
         l.reset();
         assert_eq!(l.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn labeled_charges_attribute_per_stage() {
+        let l = CommLedger::new();
+        l.charge_labeled(Phase::Consolidation, 1, 100);
+        l.charge_labeled(Phase::Consolidation, 1, 50);
+        l.charge_labeled(Phase::Aggregation, 1, 7);
+        l.charge_labeled(Phase::Consolidation, 2, 9);
+        let by_stage = l.stage_breakdown();
+        assert_eq!(by_stage.len(), 2);
+        assert_eq!(by_stage[&1].consolidation_bytes, 150);
+        assert_eq!(by_stage[&1].aggregation_bytes, 7);
+        assert_eq!(by_stage[&2].consolidation_bytes, 9);
+        // Labeled charges flow into the totals too…
+        assert_eq!(l.snapshot().total(), 166);
+        // …and the breakdown reconciles with them exactly.
+        let sum: u64 = by_stage.values().map(CommStats::total).sum();
+        assert_eq!(sum, l.snapshot().total());
+    }
+
+    #[test]
+    fn unlabeled_charges_skip_breakdown() {
+        let l = CommLedger::new();
+        l.charge(Phase::Consolidation, 11);
+        l.charge_labeled(Phase::Aggregation, 5, 3);
+        assert_eq!(l.snapshot().total(), 14);
+        let by_stage = l.stage_breakdown();
+        assert_eq!(by_stage.len(), 1);
+        assert_eq!(by_stage[&5].aggregation_bytes, 3);
+    }
+
+    #[test]
+    fn reset_clears_breakdown() {
+        let l = CommLedger::new();
+        l.charge_labeled(Phase::Consolidation, 1, 10);
+        l.reset();
+        assert_eq!(l.snapshot().total(), 0);
+        assert!(l.stage_breakdown().is_empty());
+    }
+
+    #[test]
+    fn since_ignores_breakdown_and_stays_exact() {
+        let l = CommLedger::new();
+        l.charge_labeled(Phase::Consolidation, 1, 10);
+        let before = l.snapshot();
+        l.charge_labeled(Phase::Consolidation, 2, 5);
+        l.charge_labeled(Phase::Aggregation, 2, 3);
+        let delta = l.snapshot().since(&before);
+        assert_eq!(delta.consolidation_bytes, 5);
+        assert_eq!(delta.aggregation_bytes, 3);
+        assert_eq!(l.stage_breakdown()[&2].total(), 8);
     }
 
     #[test]

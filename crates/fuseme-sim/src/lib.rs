@@ -33,7 +33,7 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use executor::{StageOutcome, TaskWork};
 pub use ledger::{CommLedger, CommStats, Phase};
 pub use partitioner::Partitioner;
-pub use time::SimClock;
+pub use time::{SimClock, StageSchedule, WaveSlot};
 
 /// Errors surfaced by the simulated runtime.
 #[derive(Debug, Clone, PartialEq)]

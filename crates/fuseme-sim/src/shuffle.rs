@@ -17,11 +17,7 @@ pub type RoutedBlock = (usize, usize, Arc<Block>);
 
 /// Splits a matrix's present blocks into per-task bins under a partitioner.
 /// Returns `tasks` bins; bin `t` holds the blocks task `t` owns.
-pub fn partition_blocks(
-    m: &BlockedMatrix,
-    p: Partitioner,
-    tasks: usize,
-) -> Vec<Vec<RoutedBlock>> {
+pub fn partition_blocks(m: &BlockedMatrix, p: Partitioner, tasks: usize) -> Vec<Vec<RoutedBlock>> {
     let mut bins: Vec<Vec<RoutedBlock>> = vec![Vec::new(); tasks];
     for (bi, bj, b) in m.iter_blocks() {
         bins[p.task_of(bi, bj, tasks)].push((bi, bj, Arc::clone(b)));

@@ -18,6 +18,27 @@ pub struct TaskCost {
     pub flops: u64,
 }
 
+/// One wave of a stage schedule: how many tasks ran concurrently and how
+/// long the wave took (its slowest task).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaveSlot {
+    /// Tasks placed in this wave.
+    pub tasks: usize,
+    /// Simulated duration of the wave, in seconds.
+    pub secs: f64,
+}
+
+/// The wave decomposition of one stage, as produced by
+/// [`SimClock::advance_stage_schedule`]. Tracing uses it to draw wave spans
+/// on the simulated-time track.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StageSchedule {
+    /// Waves in execution order (longest first).
+    pub waves: Vec<WaveSlot>,
+    /// Total stage duration — the sum of the wave durations.
+    pub total_secs: f64,
+}
+
 /// Accumulates simulated elapsed seconds across stages.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SimClock {
@@ -60,20 +81,43 @@ impl SimClock {
         net_bps: f64,
         flops_ps: f64,
     ) -> f64 {
+        self.advance_stage_schedule(tasks, slots, net_bps, flops_ps)
+            .total_secs
+    }
+
+    /// Like [`advance_stage`](SimClock::advance_stage), but also returns
+    /// the per-wave decomposition of the stage.
+    pub fn advance_stage_schedule(
+        &mut self,
+        tasks: &[TaskCost],
+        slots: usize,
+        net_bps: f64,
+        flops_ps: f64,
+    ) -> StageSchedule {
         assert!(slots > 0, "cluster must have at least one task slot");
         let mut times: Vec<f64> = tasks
             .iter()
-            .map(|t| {
-                let net = t.recv_bytes as f64 / net_bps;
-                let com = t.flops as f64 / flops_ps;
-                net.max(com)
-            })
+            .map(|t| Self::task_secs(t, net_bps, flops_ps))
             .collect();
         times.sort_by(|a, b| b.total_cmp(a));
         // Descending order makes each wave's maximum its first element.
-        let stage: f64 = times.iter().step_by(slots).sum();
-        self.elapsed += stage;
-        stage
+        let waves: Vec<WaveSlot> = times
+            .chunks(slots)
+            .map(|wave| WaveSlot {
+                tasks: wave.len(),
+                secs: wave[0],
+            })
+            .collect();
+        let total_secs: f64 = waves.iter().map(|w| w.secs).sum();
+        self.elapsed += total_secs;
+        StageSchedule { waves, total_secs }
+    }
+
+    /// Simulated duration of a single task under Eq. 2's overlap model.
+    pub fn task_secs(task: &TaskCost, net_bps: f64, flops_ps: f64) -> f64 {
+        let net = task.recv_bytes as f64 / net_bps;
+        let com = task.flops as f64 / flops_ps;
+        net.max(com)
     }
 }
 
@@ -135,5 +179,20 @@ mod tests {
     fn empty_stage_is_free() {
         let mut c = SimClock::new();
         assert_eq!(c.advance_stage(&[], 4, 1.0, 1.0), 0.0);
+        assert!(c.advance_stage_schedule(&[], 4, 1.0, 1.0).waves.is_empty());
+    }
+
+    #[test]
+    fn schedule_decomposes_into_waves() {
+        let mut c = SimClock::new();
+        // Tasks of 5s, 3s, 1s in two slots: wave {5,3} then wave {1}.
+        let sched = c.advance_stage_schedule(&[t(50, 0), t(10, 0), t(30, 0)], 2, 10.0, 1.0);
+        assert_eq!(sched.waves.len(), 2);
+        assert_eq!(sched.waves[0].tasks, 2);
+        assert_eq!(sched.waves[0].secs, 5.0);
+        assert_eq!(sched.waves[1].tasks, 1);
+        assert_eq!(sched.waves[1].secs, 1.0);
+        assert_eq!(sched.total_secs, 6.0);
+        assert_eq!(c.elapsed_secs(), 6.0);
     }
 }

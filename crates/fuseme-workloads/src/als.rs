@@ -5,7 +5,6 @@
 //! motivating fusion example: the sparse `X` gates which cells of the dense
 //! product `U × V` are ever needed.
 
-
 use fuseme::session::{Session, SessionError};
 use fuseme_matrix::gen;
 

@@ -80,15 +80,8 @@ impl AutoEncoder {
             session.bind(name, m);
             Ok(())
         };
-        let b = gen::dense_uniform(
-            self.batch,
-            self.features,
-            self.block_size,
-            0.0,
-            1.0,
-            seed,
-        )
-        .map_err(|e| SessionError::Data(e.to_string()))?;
+        let b = gen::dense_uniform(self.batch, self.features, self.block_size, 0.0, 1.0, seed)
+            .map_err(|e| SessionError::Data(e.to_string()))?;
         session.bind("B", b);
         bind_dense(session, "W1", self.h1, self.features, seed + 1)?;
         bind_dense(session, "W2", self.h2, self.h1, seed + 2)?;
@@ -100,10 +93,8 @@ impl AutoEncoder {
     /// Runs one step, rebinding the updated weights; returns the loss.
     pub fn step(&self, session: &mut Session) -> Result<f64, SessionError> {
         let script = self.step_script();
-        let report = session.run_and_rebind(
-            &script,
-            &[("W1", 0), ("W2", 1), ("W3", 2), ("W4", 3)],
-        )?;
+        let report =
+            session.run_and_rebind(&script, &[("W1", 0), ("W2", 1), ("W3", 2), ("W4", 3)])?;
         report.outputs[4]
             .get(0, 0)
             .map_err(|e| SessionError::Data(e.to_string()))

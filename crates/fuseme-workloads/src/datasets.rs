@@ -119,16 +119,21 @@ pub fn vary_two_large_dims() -> Vec<SyntheticCase> {
 /// Fig. 12(b)/(f): matrices varying a common large dimension,
 /// `100K × n × 100K`, density 0.2.
 pub fn vary_common_dim() -> Vec<SyntheticCase> {
-    [("2K", 2_000), ("5K", 5_000), ("10K", 10_000), ("50K", 50_000)]
-        .into_iter()
-        .map(|(label, n)| SyntheticCase {
-            label,
-            rows: 100_000,
-            cols: 100_000,
-            k: n,
-            density: 0.2,
-        })
-        .collect()
+    [
+        ("2K", 2_000),
+        ("5K", 5_000),
+        ("10K", 10_000),
+        ("50K", 50_000),
+    ]
+    .into_iter()
+    .map(|(label, n)| SyntheticCase {
+        label,
+        rows: 100_000,
+        cols: 100_000,
+        k: n,
+        density: 0.2,
+    })
+    .collect()
 }
 
 /// Fig. 12(c)/(g): matrices varying density, `100K × 2K × 100K`.

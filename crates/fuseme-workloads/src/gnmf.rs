@@ -12,7 +12,6 @@
 //! Each iteration is one query over the engine; Fig. 14 accumulates
 //! per-iteration elapsed times and shuffled bytes for ten iterations.
 
-
 use fuseme::session::{RunReport, Session, SessionError};
 use fuseme_matrix::gen;
 

@@ -130,10 +130,7 @@ mod tests {
             density: 0.3,
         };
         let binds = w.generate(2).unwrap();
-        let metas = binds
-            .iter()
-            .map(|(n, m)| (n.clone(), *m.meta()))
-            .collect();
+        let metas = binds.iter().map(|(n, m)| (n.clone(), *m.meta())).collect();
         let script_dag = fuseme_lang::compile(SimpleNmf::script(), &metas).unwrap();
         let a = evaluate(&w.dag(), &binds).unwrap();
         let b = evaluate(&script_dag, &binds).unwrap();

@@ -21,7 +21,13 @@ fn main() {
     };
     println!(
         "autoencoder: {} features → {} → {} → {} → {} (batch {}, {} steps/epoch)",
-        ae.features, ae.h1, ae.h2, ae.h1, ae.features, ae.batch, ae.steps_per_epoch()
+        ae.features,
+        ae.h1,
+        ae.h2,
+        ae.h1,
+        ae.features,
+        ae.batch,
+        ae.steps_per_epoch()
     );
 
     let mut cc = ClusterConfig::paper_testbed();

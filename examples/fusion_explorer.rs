@@ -95,7 +95,10 @@ fn main() {
     );
 
     // A slice of the cost surface around the optimum.
-    println!("\ncost surface at Q = {} (NetEst GB / MemEst MB per task):", pruned.pqr.q);
+    println!(
+        "\ncost surface at Q = {} (NetEst GB / MemEst MB per task):",
+        pruned.pqr.q
+    );
     let q = pruned.pqr.q;
     for p in [1, 2, 4, 8, 16, 40] {
         let mut row = format!("  P={p:<3}");

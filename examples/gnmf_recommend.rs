@@ -5,6 +5,11 @@
 //! then uses the factors to produce top-N recommendations for one user —
 //! the use-case the paper's §6.4 sketches.
 //!
+//! The training session runs with structured tracing enabled: it prints the
+//! per-run span/byte summary and the optimizer's predicted-vs-actual
+//! report, and writes a chrome://tracing-compatible trace (load it at
+//! `chrome://tracing` or <https://ui.perfetto.dev>) under `results/traces/`.
+//!
 //! ```text
 //! cargo run --release --example gnmf_recommend
 //! ```
@@ -59,14 +64,36 @@ fn main() {
         }
     }
 
-    // --- train to convergence on FuseME ----------------------------------
+    // --- train to convergence on FuseME, with tracing ---------------------
     let mut session = Session::new(Engine::fuseme(cc));
     gnmf.bind_inputs(&mut session, 42).unwrap();
-    println!("\ntraining 10 iterations on FuseME:");
+    println!("\ntraining 10 iterations on FuseME (traced):");
+    session.enable_tracing();
     let before = gnmf.reconstruction_error(&mut session).unwrap();
     gnmf.run(&mut session, 10).unwrap();
     let after = gnmf.reconstruction_error(&mut session).unwrap();
     println!("  reconstruction error ‖X − V·U‖²: {before:.1} → {after:.1}");
+
+    // --- export + report the trace ----------------------------------------
+    let summary = session.trace_summary().expect("tracing is on");
+    let recorder = session.end_tracing().expect("tracing was on");
+    println!("\ntrace summary of the training session:");
+    print!("{}", fuseme::obs::summary_table(&summary));
+    println!("\npredicted vs simulated actuals per exec-unit:");
+    print!("{}", fuseme::obs::predicted_vs_actual(&summary));
+    let dir = std::path::Path::new("results/traces");
+    match std::fs::create_dir_all(dir).and_then(|()| {
+        std::fs::write(
+            dir.join("gnmf_recommend.trace.json"),
+            fuseme::obs::chrome_trace_json(&recorder),
+        )
+    }) {
+        Ok(()) => println!(
+            "\nchrome trace written to {} (open in chrome://tracing or ui.perfetto.dev)",
+            dir.join("gnmf_recommend.trace.json").display()
+        ),
+        Err(e) => eprintln!("could not write chrome trace: {e}"),
+    }
 
     // --- recommend --------------------------------------------------------
     // Predicted scores for unrated items: P = (V × U) * (1 - (X != 0)).

@@ -17,7 +17,9 @@ fn main() {
     let mut session = Session::new(engine);
 
     // Inputs: a sparse ratings-like matrix X and two dense factors.
-    session.gen_sparse("X", 2_000, 2_000, 100, 0.005, 1).unwrap();
+    session
+        .gen_sparse("X", 2_000, 2_000, 100, 0.005, 1)
+        .unwrap();
     session.gen_dense("U", 2_000, 200, 100, 2).unwrap();
     session.gen_dense("V", 2_000, 200, 100, 3).unwrap();
 

@@ -200,7 +200,12 @@ fn ledger_conservation_across_engines() {
         );
         totals.push(report.stats.comm.total());
     }
-    assert!(totals[0] <= totals[1], "FuseME {} > DistME {}", totals[0], totals[1]);
+    assert!(
+        totals[0] <= totals[1],
+        "FuseME {} > DistME {}",
+        totals[0],
+        totals[1]
+    );
 }
 
 #[test]

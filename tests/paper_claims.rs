@@ -271,10 +271,7 @@ fn measured_comm_matches_cost_model() {
             } else {
                 0
             };
-        assert_eq!(
-            measured, modeled,
-            "consolidation mismatch at ({p},{q},{r})"
-        );
+        assert_eq!(measured, modeled, "consolidation mismatch at ({p},{q},{r})");
     }
 }
 

@@ -26,11 +26,7 @@ fn save_load_run_roundtrip() {
     let mut s = session();
     s.bind("X", loaded);
     let report = s.run_script("o = rowSums(X * X)").unwrap();
-    let direct: f64 = m
-        .to_dense_vec()
-        .iter()
-        .map(|v| v * v)
-        .sum();
+    let direct: f64 = m.to_dense_vec().iter().map(|v| v * v).sum();
     let total: f64 = report.outputs[0].to_dense_vec().iter().sum();
     assert!((total - direct).abs() < 1e-9 * direct.max(1.0));
 }

@@ -1,0 +1,455 @@
+//! Vendored mini-serde.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors a minimal, self-contained replacement for the
+//! subset of `serde` it actually uses: `#[derive(Serialize, Deserialize)]`
+//! on plain structs and enums, serialized through a JSON-shaped [`Content`]
+//! value tree. `serde_json` (also vendored) renders `Content` to JSON text
+//! and parses it back.
+//!
+//! The data model intentionally mirrors `serde_json`'s encoding so files
+//! written by this implementation are interchangeable with real
+//! `serde_json` output for the types in this workspace:
+//!
+//! * structs → objects keyed by field name
+//! * unit enum variants → `"Variant"`
+//! * newtype variants → `{"Variant": value}`
+//! * tuple variants → `{"Variant": [a, b]}`
+//! * struct variants → `{"Variant": {...}}`
+//! * `Option` → `null` / value, sequences → arrays, tuples → arrays
+//! * non-finite floats → `null` (as `serde_json::to_string` emits)
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// A JSON-shaped value tree — the serialization data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also used for non-finite floats).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Finite floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object entries, if this is an object.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64` (accepts any number).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::UInt(v) => Some(v as f64),
+            Content::Int(v) => Some(v as f64),
+            Content::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64` (rejects negatives and non-integers).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::UInt(v) => Some(v),
+            Content::Int(v) if v >= 0 => Some(v as u64),
+            Content::Float(v) if v >= 0.0 && v.fract() == 0.0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::UInt(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Content::Int(v) => Some(v),
+            Content::Float(v) if v.fract() == 0.0 => Some(v as i64),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: a human-readable description of the mismatch.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error describing an unexpected shape.
+    pub fn expected(what: &str, got: &Content) -> DeError {
+        DeError(format!("expected {what}, got {got:?}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable to [`Content`].
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn to_content(&self) -> Content;
+}
+
+/// Types reconstructible from [`Content`].
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from the data model.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+/// Fetches a struct field, treating a missing key as `null` (so `Option`
+/// fields tolerate omission, as serde's `default` would).
+pub fn field<'c>(c: &'c Content, name: &str) -> Result<&'c Content, DeError> {
+    const NULL: &Content = &Content::Null;
+    match c {
+        Content::Map(_) => Ok(c.get(name).unwrap_or(NULL)),
+        other => Err(DeError::expected("object", other)),
+    }
+}
+
+// ----- primitive impls ------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                c.as_u64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| DeError::expected(stringify!($t), c))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::UInt(v as u64) } else { Content::Int(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                c.as_i64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| DeError::expected(stringify!($t), c))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as f64;
+                if v.is_finite() { Content::Float(v) } else { Content::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    // serde_json writes non-finite floats as null; accept the
+                    // round-trip back as NaN.
+                    Content::Null => Ok(<$t>::NAN),
+                    other => other
+                        .as_f64()
+                        .map(|v| v as $t)
+                        .ok_or_else(|| DeError::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+/// `&'static str` deserializes by leaking — acceptable for the workspace's
+/// small, static-descriptor use (dataset names in result files).
+impl Deserialize for &'static str {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", other)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(_: &Content) -> Result<Self, DeError> {
+        Ok(())
+    }
+}
+
+// ----- containers -----------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::expected("array", c))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::expected("array", c))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_map()
+            .ok_or_else(|| DeError::expected("object", c))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        // Deterministic output: sort keys.
+        let mut entries: Vec<(String, Content)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_map()
+            .ok_or_else(|| DeError::expected("object", c))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_ptr {
+    ($($p:ident),*) => {$(
+        impl<T: Serialize + ?Sized> Serialize for $p<T> {
+            fn to_content(&self) -> Content { (**self).to_content() }
+        }
+        impl<T: Deserialize> Deserialize for $p<T> {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                T::from_content(c).map($p::new)
+            }
+        }
+    )*};
+}
+impl_ptr!(Box, Arc, Rc);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let items = c.as_seq().ok_or_else(|| DeError::expected("array", c))?;
+                let mut it = items.iter();
+                let expected = [$(stringify!($n)),+].len();
+                if items.len() != expected {
+                    return Err(DeError(format!(
+                        "expected {expected}-tuple, got array of {}", items.len()
+                    )));
+                }
+                Ok(($($t::from_content(it.next().unwrap())?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_roundtrip() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i32::from_content(&(-7i32).to_content()).unwrap(), -7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert!(f64::from_content(&f64::NAN.to_content()).unwrap().is_nan());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1usize, 2u64), (3, 4)];
+        let back: Vec<(usize, u64)> = Deserialize::from_content(&v.to_content()).unwrap();
+        assert_eq!(back, v);
+        let o: Option<String> = None;
+        assert_eq!(o.to_content(), Content::Null);
+    }
+
+    #[test]
+    fn missing_field_reads_as_null() {
+        let m = Content::Map(vec![("a".into(), Content::UInt(1))]);
+        assert_eq!(field(&m, "b").unwrap(), &Content::Null);
+        let none: Option<u64> = Deserialize::from_content(field(&m, "b").unwrap()).unwrap();
+        assert_eq!(none, None);
+    }
+}

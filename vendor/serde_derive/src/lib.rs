@@ -1,0 +1,400 @@
+//! Derive macros for the vendored mini-serde.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; the item is parsed directly from the `proc_macro` token
+//! stream. Only the shapes this workspace derives are supported: plain
+//! (non-generic) structs with named fields, tuple/unit structs, and enums
+//! whose variants are unit, newtype, tuple, or struct-shaped. Generated
+//! code mirrors real serde/serde_json's externally-tagged encoding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+use std::fmt::Write as _;
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize` (the vendored trait) for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the vendored trait) for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ----- parsing --------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i, "struct/enum keyword");
+    let name = expect_ident(&toks, &mut i, "type name");
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("mini-serde derive: generic type `{name}` is not supported");
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            _ => Kind::Struct(Fields::Unit),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("mini-serde derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("mini-serde derive: unsupported item kind `{other}`"),
+    };
+    Item { name, kind }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("mini-serde derive: expected {what}, got {other:?}"),
+    }
+}
+
+/// Advances past one type (or discriminant expression), stopping at a
+/// top-level comma. Tracks `<...>` nesting; a `>` that closes `->` arrows
+/// is recognised by the preceding joint `-`.
+fn skip_until_top_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i64;
+    let mut prev_joint_dash = false;
+    while let Some(t) = toks.get(*i) {
+        match t {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && angle_depth == 0 {
+                    *i += 1; // consume the comma
+                    return;
+                }
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' && !prev_joint_dash {
+                    angle_depth -= 1;
+                }
+                prev_joint_dash =
+                    c == '-' && p.spacing() == proc_macro::Spacing::Joint;
+            }
+            _ => prev_joint_dash = false,
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i, "field name");
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("mini-serde derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_until_top_comma(&toks, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_until_top_comma(&toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i, "variant name");
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` up to the separating comma.
+        skip_until_top_comma(&toks, &mut i);
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ----- codegen --------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => "::serde::Content::Null".to_string(),
+        Kind::Struct(Fields::Named(fields)) => {
+            let mut entries = String::new();
+            for f in fields {
+                let _ = write!(
+                    entries,
+                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_content(&self.{f})),"
+                );
+            }
+            format!("::serde::Content::Map(::std::vec![{entries}])")
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::to_content(&self.0)".to_string()
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let mut items = String::new();
+            for idx in 0..*n {
+                let _ = write!(items, "::serde::Serialize::to_content(&self.{idx}),");
+            }
+            format!("::serde::Content::Seq(::std::vec![{items}])")
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{v} => ::serde::Content::Str(::std::string::String::from(\"{v}\")),"
+                        );
+                    }
+                    Fields::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{v}(_f0) => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Serialize::to_content(_f0))]),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("_f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{v}({}) => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Content::Seq(::std::vec![{}]))]),",
+                            binds.join(","),
+                            items.join(",")
+                        );
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(",");
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_content({f}))"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{v} {{ {binds} }} => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Content::Map(::std::vec![{}]))]),",
+                            entries.join(",")
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => {
+            format!("let _ = c; ::std::result::Result::Ok({name})")
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_content(::serde::field(c, \"{f}\")?)?")
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(",")
+            )
+        }
+        Kind::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))"
+        ),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_content(&_items[{k}])?"))
+                .collect();
+            format!(
+                "let _items = c.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array\", c))?;\n\
+                 if _items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::DeError(::std::format!(\n\
+                 \"expected {n} elements for {name}, got {{}}\", _items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                gets.join(",")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+                        );
+                    }
+                    Fields::Tuple(1) => {
+                        let _ = write!(
+                            keyed_arms,
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_content(_v)?)),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_content(&_items[{k}])?"))
+                            .collect();
+                        let _ = write!(
+                            keyed_arms,
+                            "\"{v}\" => {{\n\
+                             let _items = _v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array\", _v))?;\n\
+                             if _items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError(::std::format!(\n\
+                             \"expected {n} elements for {name}::{v}, got {{}}\", _items.len())));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{v}({}))\n\
+                             }},",
+                            gets.join(",")
+                        );
+                    }
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_content(::serde::field(_v, \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            keyed_arms,
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {} }}),",
+                            inits.join(",")
+                        );
+                    }
+                }
+            }
+            format!(
+                "match c {{\n\
+                 ::serde::Content::Str(_s) => match _s.as_str() {{\n\
+                 {unit_arms}\n\
+                 _other => ::std::result::Result::Err(::serde::DeError(::std::format!(\n\
+                 \"unknown unit variant `{{}}` for {name}\", _other))),\n\
+                 }},\n\
+                 ::serde::Content::Map(_entries) if _entries.len() == 1 => {{\n\
+                 let (_k, _v) = &_entries[0];\n\
+                 match _k.as_str() {{\n\
+                 {keyed_arms}\n\
+                 _other => ::std::result::Result::Err(::serde::DeError(::std::format!(\n\
+                 \"unknown variant `{{}}` for {name}\", _other))),\n\
+                 }}\n\
+                 }},\n\
+                 _other => ::std::result::Result::Err(::serde::DeError::expected(\"enum {name}\", _other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
