@@ -9,7 +9,7 @@ use fuseme_fusion::gen_like::GenLike;
 use fuseme_fusion::plan::FusionPlan;
 use fuseme_matrix::BlockedMatrix;
 use fuseme_plan::{Bindings, QueryDag};
-use fuseme_sim::{Cluster, ClusterConfig, SimError};
+use fuseme_sim::{Cluster, ClusterConfig, FaultPlan, FaultStats, FaultToleranceConfig, SimError};
 
 /// Which system's planner + physical operators an [`Engine`] emulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +132,25 @@ impl Engine {
         };
         self.exec.matmul = matmul;
         self
+    }
+
+    /// Installs (or clears) a deterministic fault-injection schedule on
+    /// the simulated cluster.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.cluster.set_fault_plan(plan);
+    }
+
+    /// Sets the recovery policy on both the cluster (task retry and
+    /// speculation happen inside stages) and the driver (stage re-runs on
+    /// executor loss happen between stages).
+    pub fn set_fault_tolerance(&mut self, cfg: FaultToleranceConfig) {
+        self.cluster.set_fault_tolerance(cfg);
+        self.exec.fault_tolerance = cfg;
+    }
+
+    /// Recovery-activity counters accumulated since the last reset.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.cluster.fault_stats()
     }
 
     /// The engine's kind.

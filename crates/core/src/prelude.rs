@@ -15,4 +15,7 @@ pub use fuseme_obs::{
     chrome_trace_json, predicted_vs_actual, summarize, summary_table, Recorder, TraceSummary,
 };
 pub use fuseme_plan::{Bindings, DagBuilder, QueryDag};
-pub use fuseme_sim::{Cluster, ClusterConfig, CommStats, SimError};
+pub use fuseme_sim::{
+    Cluster, ClusterConfig, CommStats, FaultKind, FaultPlan, FaultScope, FaultSpec, FaultStats,
+    FaultToleranceConfig, SimError,
+};

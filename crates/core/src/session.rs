@@ -8,7 +8,7 @@ use fuseme_lang::compile;
 use fuseme_matrix::{gen, BlockedMatrix, MatrixMeta};
 use fuseme_obs::{Recorder, SpanGuard, SpanKind, TraceSummary};
 use fuseme_plan::{Bindings, QueryDag};
-use fuseme_sim::SimError;
+use fuseme_sim::{FaultPlan, FaultStats, FaultToleranceConfig, SimError};
 
 use crate::engine::Engine;
 
@@ -81,6 +81,23 @@ impl Session {
     /// The wrapped engine.
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// Installs (or clears) a deterministic fault-injection schedule for
+    /// subsequent runs.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.engine.set_fault_plan(plan);
+    }
+
+    /// Sets the recovery policy (task retry, speculation, stage re-runs)
+    /// for subsequent runs. The default is everything off.
+    pub fn set_fault_tolerance(&mut self, cfg: FaultToleranceConfig) {
+        self.engine.set_fault_tolerance(cfg);
+    }
+
+    /// Recovery-activity counters accumulated by this session's engine.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.engine.fault_stats()
     }
 
     /// Turns on structured tracing for this session (on this thread). Every

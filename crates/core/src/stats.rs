@@ -2,7 +2,7 @@
 
 use fuseme_exec::driver::EngineStats;
 use fuseme_obs::TraceSummary;
-use fuseme_sim::SimError;
+use fuseme_sim::{FaultStats, SimError};
 use serde::{Deserialize, Serialize};
 
 /// How a run ended — mirrors the paper's result classes: a number, an
@@ -25,7 +25,13 @@ impl RunStatus {
         match e {
             SimError::OutOfMemory { .. } => RunStatus::OutOfMemory,
             SimError::Timeout { .. } => RunStatus::Timeout,
-            SimError::Task(_) => RunStatus::Failed,
+            // Exhausted retries and unrecovered executor losses are plain
+            // failures — the paper's tables have no dedicated class for
+            // them, and with fault tolerance off any injected fault lands
+            // here.
+            SimError::Task(_) | SimError::TaskLost { .. } | SimError::ExecutorLost { .. } => {
+                RunStatus::Failed
+            }
         }
     }
 
@@ -64,6 +70,11 @@ pub struct RunSummary {
     /// Trace summary, when the run executed with tracing enabled. Absent
     /// (and omitted-tolerant on deserialize) for untraced runs.
     pub trace: Option<TraceSummary>,
+    /// Recovery activity and wasted work, when the run saw any (retries,
+    /// speculative copies, stage re-runs). Absent — and omitted-tolerant on
+    /// deserialize — for fault-free runs, so fault-free summaries serialize
+    /// identically whether or not fault tolerance was configured.
+    pub faults: Option<FaultStats>,
 }
 
 impl RunSummary {
@@ -84,6 +95,7 @@ impl RunSummary {
                 .map(|(root, pqr)| (*root, pqr.p, pqr.q, pqr.r))
                 .collect(),
             trace: None,
+            faults: stats.faults.any().then_some(stats.faults),
         }
     }
 
@@ -106,6 +118,7 @@ impl RunSummary {
             single_units: 0,
             pqr: Vec::new(),
             trace: None,
+            faults: None,
         }
     }
 
@@ -140,6 +153,18 @@ mod tests {
             RunStatus::from_error(&SimError::Task("x".into())),
             RunStatus::Failed
         );
+        assert_eq!(
+            RunStatus::from_error(&SimError::TaskLost {
+                stage: 0,
+                task: 3,
+                attempts: 4
+            }),
+            RunStatus::Failed
+        );
+        assert_eq!(
+            RunStatus::from_error(&SimError::ExecutorLost { stage: 1 }),
+            RunStatus::Failed
+        );
         assert_eq!(RunStatus::OutOfMemory.label(), "O.O.M.");
         assert_eq!(RunStatus::Timeout.label(), "T.O.");
     }
@@ -172,6 +197,7 @@ mod tests {
             single_units: 1,
             pqr: vec![(8, 2, 3, 1)],
             trace: None,
+            faults: None,
         };
         let json = serde_json::to_string(&s).unwrap();
         let back: RunSummary = serde_json::from_str(&json).unwrap();
@@ -188,7 +214,25 @@ mod tests {
             "fused_units":1,"single_units":0,"pqr":[]}"#;
         let back: RunSummary = serde_json::from_str(json).unwrap();
         assert!(back.trace.is_none());
+        assert!(back.faults.is_none());
         assert_eq!(back.comm_total(), 15);
+    }
+
+    #[test]
+    fn completed_attaches_faults_only_when_active() {
+        let mut stats = EngineStats {
+            sim_secs: 1.0,
+            ..EngineStats::default()
+        };
+        let clean = RunSummary::completed("FuseME", &stats);
+        assert!(clean.faults.is_none());
+        stats.faults.retries = 2;
+        stats.faults.wasted_bytes = 64;
+        let chaotic = RunSummary::completed("FuseME", &stats);
+        assert_eq!(chaotic.faults.unwrap().retries, 2);
+        let json = serde_json::to_string(&chaotic).unwrap();
+        let back: RunSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.faults.unwrap().wasted_bytes, 64);
     }
 
     #[test]
@@ -202,6 +246,7 @@ mod tests {
                 fused_units: 1,
                 single_units: 0,
                 pqr_choices: vec![],
+                faults: Default::default(),
             },
         )
         .with_trace(TraceSummary::default());

@@ -2,7 +2,7 @@
 //! evaluation (§6) at a configurable scale.
 //!
 //! ```text
-//! experiments [all|table1|table3|fig12|fig13|fig14|fig15]
+//! experiments [all|table1|table3|fig12|fig13|fig14|fig15|ablation|chaos]
 //!             [--scale S]    element-dimension divisor (divides 1000; default 250)
 //!             [--iters N]    GNMF iterations for fig14 (default 10)
 //!             [--out DIR]    JSON output directory (default results/)
@@ -13,7 +13,7 @@
 
 use std::path::PathBuf;
 
-use fuseme_bench::experiments::{ablation, fig12, fig13, fig14, fig15, table1, table3};
+use fuseme_bench::experiments::{ablation, chaos, fig12, fig13, fig14, fig15, table1, table3};
 use fuseme_bench::Scale;
 
 fn main() {
@@ -48,7 +48,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [all|table1|table3|fig12|fig13|fig14|fig15|ablation]... \
+                    "usage: experiments [all|table1|table3|fig12|fig13|fig14|fig15|ablation|chaos]... \
                      [--scale S] [--iters N] [--out DIR] [--trace]"
                 );
                 return;
@@ -87,6 +87,7 @@ fn main() {
                 fig14::run(scale, &out, iters);
                 fig15::run(scale, &out);
                 ablation::run(scale, &out);
+                chaos::run(scale, &out);
             }
             "table1" => {
                 table1::run(scale, &out);
@@ -123,6 +124,9 @@ fn main() {
             }
             "ablation" => {
                 ablation::run(scale, &out);
+            }
+            "chaos" => {
+                chaos::run(scale, &out);
             }
             other => die(&format!("unknown experiment '{other}'")),
         }

@@ -20,9 +20,9 @@ use fuseme_fusion::optimizer::{optimize_bounded, OptResult, Pqr};
 use fuseme_fusion::plan::{mm_dims, ExecUnit, FusionPlan, PartialPlan};
 use fuseme_fusion::space::SpaceTree;
 use fuseme_matrix::BlockedMatrix;
-use fuseme_obs::{keys, SpanGuard, SpanKind};
+use fuseme_obs::{events, keys, SpanGuard, SpanKind};
 use fuseme_plan::{Bindings, NodeId, OpKind, QueryDag};
-use fuseme_sim::{Cluster, CommStats, SimError};
+use fuseme_sim::{Cluster, CommStats, FaultStats, FaultToleranceConfig, SimError};
 
 use crate::fused_op::{execute_fused, supports_k_split, Strategy, ValueMap};
 
@@ -55,10 +55,14 @@ pub struct ExecConfig {
     pub matmul: MatmulStrategy,
     /// Cost model for the optimizer and time estimates.
     pub model: CostModel,
+    /// Recovery policy, mirroring the cluster's (the driver consults
+    /// `max_stage_reruns` when a unit's executor is lost).
+    pub fault_tolerance: FaultToleranceConfig,
 }
 
 impl ExecConfig {
-    /// Builds a config whose cost model mirrors the cluster's configuration.
+    /// Builds a config whose cost model and recovery policy mirror the
+    /// cluster's configuration.
     pub fn for_cluster(cluster: &Cluster, matmul: MatmulStrategy) -> Self {
         let c = cluster.config();
         ExecConfig {
@@ -70,6 +74,7 @@ impl ExecConfig {
                 net_bandwidth: c.net_bandwidth,
                 compute_bandwidth: c.compute_bandwidth,
             },
+            fault_tolerance: cluster.fault_tolerance(),
         }
     }
 }
@@ -89,6 +94,9 @@ pub struct EngineStats {
     pub single_units: usize,
     /// `(plan root, chosen parameters)` for every cuboid-strategy unit.
     pub pqr_choices: Vec<(NodeId, Pqr)>,
+    /// Recovery activity (retries, speculation, re-runs) and wasted work
+    /// this run added.
+    pub faults: FaultStats,
 }
 
 /// Executes `plan` over `inputs`, returning the root values (in the DAG's
@@ -102,6 +110,7 @@ pub fn execute_plan(
 ) -> Result<(Vec<Arc<BlockedMatrix>>, EngineStats), SimError> {
     let comm_before = cluster.comm();
     let sim_before = cluster.elapsed_secs();
+    let faults_before = cluster.fault_stats();
     let wall_start = std::time::Instant::now();
     let mut stats = EngineStats::default();
 
@@ -126,7 +135,7 @@ pub fn execute_plan(
                 let unit_sim = cluster.elapsed_secs();
                 let (strategy, opt) = choose_strategy(dag, p, &values, config, &mut stats)?;
                 annotate_unit(&span, p.root, &strategy, opt.as_ref());
-                let out = execute_fused(cluster, dag, p, &values, &strategy, &config.model)?;
+                let out = run_unit(cluster, dag, p, &values, &strategy, config)?;
                 span.set_sim(unit_sim, cluster.elapsed_secs() - unit_sim);
                 values.insert(p.root, out);
                 stats.fused_units += 1;
@@ -146,8 +155,7 @@ pub fn execute_plan(
                     )
                 };
                 annotate_unit(&span, *op, &strategy, opt.as_ref());
-                let out =
-                    execute_fused(cluster, dag, &singleton, &values, &strategy, &config.model)?;
+                let out = run_unit(cluster, dag, &singleton, &values, &strategy, config)?;
                 span.set_sim(unit_sim, cluster.elapsed_secs() - unit_sim);
                 values.insert(*op, out);
                 stats.single_units += 1;
@@ -168,9 +176,60 @@ pub fn execute_plan(
 
     stats.comm = cluster.comm().since(&comm_before);
     stats.sim_secs = cluster.elapsed_secs() - sim_before;
+    stats.faults = cluster.fault_stats().since(&faults_before);
     stats.wall_secs = wall_start.elapsed().as_secs_f64();
     plan_span.set_sim(sim_before, stats.sim_secs);
     Ok((roots, stats))
+}
+
+/// Executes one (possibly singleton) fused unit, re-running it from lineage
+/// when its executor is lost and the recovery policy allows it.
+///
+/// A re-run restarts the whole unit — inputs are re-consolidated from the
+/// driver's materialized values, exactly like Spark recomputing a stage's
+/// parents from lineage. The abandoned attempt's ledger charges (minus any
+/// retry/speculation waste it already booked itself, to avoid
+/// double-counting) become wasted work.
+fn run_unit(
+    cluster: &Cluster,
+    dag: &QueryDag,
+    plan: &PartialPlan,
+    values: &ValueMap,
+    strategy: &Strategy,
+    config: &ExecConfig,
+) -> Result<Arc<BlockedMatrix>, SimError> {
+    let max_reruns = config.fault_tolerance.max_stage_reruns;
+    let mut reruns = 0u32;
+    loop {
+        let comm_attempt = cluster.comm();
+        let flops_attempt = cluster.ledger().flops_total();
+        let waste_attempt = cluster.fault_stats();
+        match execute_fused(cluster, dag, plan, values, strategy, &config.model) {
+            Ok(out) => return Ok(out),
+            Err(SimError::ExecutorLost { stage }) if reruns < max_reruns => {
+                reruns += 1;
+                let attempt = cluster.fault_stats().since(&waste_attempt);
+                let attempt_bytes = cluster.comm().since(&comm_attempt).total();
+                let attempt_flops = cluster.ledger().flops_total() - flops_attempt;
+                // The attempt's in-stage waste (retries, speculation) is
+                // already booked by the stage spans; only the rest of the
+                // abandoned attempt is new waste.
+                let rerun_bytes = attempt_bytes - attempt.wasted_bytes;
+                let rerun_flops = attempt_flops - attempt.wasted_flops;
+                cluster.fault_ledger().add_wasted(rerun_bytes, rerun_flops);
+                cluster.fault_ledger().record_stage_rerun();
+                fuseme_obs::handle().event(events::STAGE_RERUN, || {
+                    vec![
+                        (keys::STAGE_ID.to_string(), stage.into()),
+                        (keys::ATTEMPTS.to_string(), u64::from(reruns + 1).into()),
+                        (keys::WASTED_BYTES.to_string(), rerun_bytes.into()),
+                        (keys::WASTED_FLOPS.to_string(), rerun_flops.into()),
+                    ]
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Records an exec-unit span's strategy and (when a cost-based search ran)
@@ -447,6 +506,51 @@ mod tests {
         for u in &summary.units {
             assert!(pva.contains(&u.name));
         }
+    }
+
+    #[test]
+    fn executor_loss_recovered_by_stage_rerun() {
+        let (dag, bindings, expected) = gnmf_fixture();
+        let plan = {
+            let cl = cluster();
+            let config = ExecConfig::for_cluster(&cl, MatmulStrategy::Cfo);
+            Cfg::new(config.model).plan(&dag)
+        };
+        // Oracle: the same plan on a healthy cluster.
+        let oracle = {
+            let cl = cluster();
+            let config = ExecConfig::for_cluster(&cl, MatmulStrategy::Cfo);
+            let (_, s) = execute_plan(&cl, &dag, &plan, &bindings, &config).unwrap();
+            s.comm.total()
+        };
+        let mut cl = cluster();
+        cl.set_fault_plan(Some(fuseme_sim::FaultPlan::new(4).with_executor_loss_at(0)));
+        cl.set_fault_tolerance(fuseme_sim::FaultToleranceConfig::resilient());
+        let config = ExecConfig::for_cluster(&cl, MatmulStrategy::Cfo);
+        let (roots, stats) = execute_plan(&cl, &dag, &plan, &bindings, &config).unwrap();
+        // The re-run recomputed the correct result…
+        assert!(roots[0].approx_eq(&expected, 1e-9));
+        assert_eq!(stats.faults.executor_losses, 1);
+        assert_eq!(stats.faults.stage_reruns, 1);
+        // …and the abandoned attempt's traffic reconciles exactly:
+        // ledger total == oracle total + wasted bytes.
+        assert!(stats.faults.wasted_bytes > 0);
+        assert_eq!(stats.comm.total(), oracle + stats.faults.wasted_bytes);
+    }
+
+    #[test]
+    fn executor_loss_terminal_when_reruns_disabled() {
+        let (dag, bindings, _) = gnmf_fixture();
+        let mut cl = cluster();
+        cl.set_fault_plan(Some(fuseme_sim::FaultPlan::new(4).with_executor_loss_at(0)));
+        // Recovery off (the default): the loss propagates.
+        let config = ExecConfig::for_cluster(&cl, MatmulStrategy::Cfo);
+        let plan = Cfg::new(config.model).plan(&dag);
+        let err = execute_plan(&cl, &dag, &plan, &bindings, &config).unwrap_err();
+        assert!(
+            matches!(err, SimError::ExecutorLost { stage: 0 }),
+            "{err:?}"
+        );
     }
 
     #[test]

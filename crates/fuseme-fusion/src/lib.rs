@@ -8,7 +8,7 @@
 //!   the combined `Cost` objective (Eq. 2),
 //! * [`optimizer`] — exhaustive and pruning searches for the optimal
 //!   `(P*, Q*, R*)` cuboid parameters,
-//! * [`cfg`] — the Cuboid-based Fusion plan Generator: exploration
+//! * [`mod@cfg`] — the Cuboid-based Fusion plan Generator: exploration
 //!   (Algorithm 2) and exploitation (Algorithm 3) phases,
 //! * [`gen_like`] — a GEN-style baseline planner (SystemDS): Cell/Outer
 //!   templates, avoids fusing large matrix multiplications,

@@ -102,6 +102,34 @@ pub struct UnitTrace {
     pub actual: ActualCost,
 }
 
+/// Recovery activity visible in a trace: retry/speculation counters summed
+/// over stage spans plus stage re-runs and executor losses counted from
+/// their point events. Wasted totals include both in-stage waste (retries,
+/// losing speculative copies) and the abandoned attempts behind stage
+/// re-runs, so they reconcile with the simulator's `FaultStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultTrace {
+    /// Task attempts that failed and were retried.
+    pub retries: u64,
+    /// Speculative copies launched.
+    pub speculative_launches: u64,
+    /// Executors lost.
+    pub executor_losses: u64,
+    /// Driver-side unit re-runs after executor loss.
+    pub stage_reruns: u64,
+    /// Bytes charged that a fault-free run would not have charged.
+    pub wasted_bytes: u64,
+    /// FLOPs executed that a fault-free run would not have executed.
+    pub wasted_flops: u64,
+}
+
+impl FaultTrace {
+    /// Whether any recovery activity was recorded.
+    pub fn any(&self) -> bool {
+        *self != FaultTrace::default()
+    }
+}
+
 /// Compact per-run summary of a recording.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TraceSummary {
@@ -119,6 +147,10 @@ pub struct TraceSummary {
     pub units: Vec<UnitTrace>,
     /// Number of recorded point events.
     pub events: usize,
+    /// Recovery activity, when the recording saw any. Absent — and
+    /// omitted-tolerant on deserialize — for fault-free recordings, so
+    /// pre-fault-tolerance summaries still parse.
+    pub faults: Option<FaultTrace>,
 }
 
 impl TraceSummary {
@@ -184,8 +216,35 @@ pub fn summarize(rec: &Recorder) -> TraceSummary {
     };
 
     let mut totals = ActualCost::default();
+    let mut faults = FaultTrace::default();
     for s in spans.iter().filter(|s| s.kind == SpanKind::Stage) {
         fold(&mut totals, stage_cost(s));
+        faults.retries += attr_u64(s, keys::RETRIES).unwrap_or(0);
+        faults.speculative_launches += attr_u64(s, keys::SPECULATIVE).unwrap_or(0);
+        faults.wasted_bytes += attr_u64(s, keys::WASTED_BYTES).unwrap_or(0);
+        faults.wasted_flops += attr_u64(s, keys::WASTED_FLOPS).unwrap_or(0);
+    }
+    let event_attr = |ev: &crate::EventRecord, key: &str| -> u64 {
+        ev.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap_or(0)
+    };
+    let recorded_events = rec.events();
+    for ev in &recorded_events {
+        match ev.name.as_str() {
+            crate::events::EXECUTOR_LOST => faults.executor_losses += 1,
+            crate::events::STAGE_RERUN => {
+                faults.stage_reruns += 1;
+                // The abandoned attempt's charges, reported on the re-run
+                // event by the driver (already net of in-stage waste the
+                // stage spans above carry).
+                faults.wasted_bytes += event_attr(ev, keys::WASTED_BYTES);
+                faults.wasted_flops += event_attr(ev, keys::WASTED_FLOPS);
+            }
+            _ => {}
+        }
     }
 
     // Per-unit actuals: every stage span in the unit's subtree.
@@ -248,7 +307,8 @@ pub fn summarize(rec: &Recorder) -> TraceSummary {
         flops: totals.flops,
         peak_mem_bytes: totals.peak_mem_bytes,
         units,
-        events: rec.events().len(),
+        events: recorded_events.len(),
+        faults: faults.any().then_some(faults),
     }
 }
 
@@ -378,6 +438,18 @@ pub fn summary_table(summary: &TraceSummary) -> String {
         mb(summary.peak_mem_bytes),
         summary.events
     ));
+    if let Some(f) = &summary.faults {
+        out.push_str(&format!(
+            "faults: {} retries, {} speculative, {} executor losses, \
+             {} stage re-runs; wasted {} MB / {:.3e} FLOP\n",
+            f.retries,
+            f.speculative_launches,
+            f.executor_losses,
+            f.stage_reruns,
+            mb(f.wasted_bytes),
+            f.wasted_flops as f64
+        ));
+    }
     out
 }
 
@@ -529,6 +601,50 @@ mod tests {
         // The stage span's wall event carries its byte attribution.
         assert!(json.contains("\"bytes\":900"));
         assert!(json.contains("\"cat\":\"exec-unit\""));
+    }
+
+    #[test]
+    fn summary_aggregates_fault_activity() {
+        let rec = Recorder::new();
+        install(&rec);
+        {
+            let st = handle().scope_span(SpanKind::Stage, || "stage-0".into());
+            st.set(keys::PHASE, "consolidation");
+            st.set(keys::BYTES, 300u64);
+            st.set(keys::RETRIES, 2u64);
+            st.set(keys::SPECULATIVE, 1u64);
+            st.set(keys::WASTED_BYTES, 120u64);
+            st.set(keys::WASTED_FLOPS, 50u64);
+        }
+        handle().event(crate::events::EXECUTOR_LOST, || {
+            vec![(keys::STAGE_ID.to_string(), 0u64.into())]
+        });
+        handle().event(crate::events::STAGE_RERUN, || {
+            vec![
+                (keys::STAGE_ID.to_string(), 0u64.into()),
+                (keys::WASTED_BYTES.to_string(), 180u64.into()),
+                (keys::WASTED_FLOPS.to_string(), 70u64.into()),
+            ]
+        });
+        uninstall();
+        let s = summarize(&rec);
+        let f = s.faults.unwrap();
+        assert_eq!(f.retries, 2);
+        assert_eq!(f.speculative_launches, 1);
+        assert_eq!(f.executor_losses, 1);
+        assert_eq!(f.stage_reruns, 1);
+        // Stage-span waste plus the re-run event's (net) waste.
+        assert_eq!(f.wasted_bytes, 300);
+        assert_eq!(f.wasted_flops, 120);
+        let table = summary_table(&s);
+        assert!(table.contains("stage re-runs"), "{table}");
+        // Fault-free recordings omit the block entirely — and such
+        // summaries round-trip with `faults` still absent.
+        let clean = summarize(&sample_recorder());
+        assert!(clean.faults.is_none());
+        let json = serde_json::to_string(&clean).unwrap();
+        let back: TraceSummary = serde_json::from_str(&json).unwrap();
+        assert!(back.faults.is_none());
     }
 
     #[test]

@@ -43,8 +43,8 @@ use std::time::Instant;
 use serde::{Content, DeError, Deserialize, Serialize};
 
 pub use export::{
-    chrome_trace_json, predicted_vs_actual, summarize, summary_table, ActualCost, KindStat,
-    Prediction, TraceSummary, UnitTrace,
+    chrome_trace_json, predicted_vs_actual, summarize, summary_table, ActualCost, FaultTrace,
+    KindStat, Prediction, TraceSummary, UnitTrace,
 };
 
 /// Well-known attribute keys shared between the instrumentation sites and
@@ -88,6 +88,35 @@ pub mod keys {
     pub const PRED_EVALUATED: &str = "pred_evaluated";
     /// Whether the search found a feasible point.
     pub const PRED_FEASIBLE: &str = "pred_feasible";
+    /// Task attempts that failed and were retried within a stage.
+    pub const RETRIES: &str = "retries";
+    /// Speculative copies launched within a stage.
+    pub const SPECULATIVE: &str = "speculative_launches";
+    /// Bytes charged that an oracle (fault-free) run would not have
+    /// charged.
+    pub const WASTED_BYTES: &str = "wasted_bytes";
+    /// FLOPs executed that an oracle (fault-free) run would not have
+    /// executed.
+    pub const WASTED_FLOPS: &str = "wasted_flops";
+    /// Attempts a task consumed (1 = first attempt succeeded).
+    pub const ATTEMPTS: &str = "attempts";
+    /// Winner of a speculative race: `"speculative"` or `"original"`.
+    pub const WINNER: &str = "winner";
+}
+
+/// Well-known event names emitted by the fault-tolerance layer.
+pub mod events {
+    /// A task attempt crashed and was retried (attrs: stage/task ids,
+    /// attempt count, wasted bytes/FLOPs).
+    pub const TASK_RETRY: &str = "task-retry";
+    /// A speculative copy of a straggling task launched (attrs: stage/task
+    /// ids, winner).
+    pub const SPECULATIVE_LAUNCH: &str = "speculative-launch";
+    /// The driver re-ran an exec unit after an executor loss (attrs: lost
+    /// stage id, re-run attempt, wasted bytes/FLOPs of the failed attempt).
+    pub const STAGE_RERUN: &str = "stage-rerun";
+    /// A stage's executor died (attrs: stage id).
+    pub const EXECUTOR_LOST: &str = "executor-lost";
 }
 
 /// Identifier of a recorded span; `SpanId::NONE` marks "no parent".

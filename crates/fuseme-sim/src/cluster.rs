@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{FaultLedger, FaultPlan, FaultStats, FaultToleranceConfig};
 use crate::ledger::{CommLedger, CommStats};
 use crate::time::SimClock;
 
@@ -111,16 +112,23 @@ pub struct Cluster {
     ledger: CommLedger,
     clock: Mutex<SimClock>,
     next_stage: AtomicU64,
+    fault_plan: Option<FaultPlan>,
+    fault_tolerance: FaultToleranceConfig,
+    faults: FaultLedger,
 }
 
 impl Cluster {
-    /// Creates a cluster with zeroed ledger and clock.
+    /// Creates a cluster with zeroed ledger and clock, no fault injection,
+    /// and fault tolerance off.
     pub fn new(config: ClusterConfig) -> Self {
         Cluster {
             config,
             ledger: CommLedger::new(),
             clock: Mutex::new(SimClock::new()),
             next_stage: AtomicU64::new(0),
+            fault_plan: None,
+            fault_tolerance: FaultToleranceConfig::default(),
+            faults: FaultLedger::new(),
         }
     }
 
@@ -155,12 +163,43 @@ impl Cluster {
         self.next_stage.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Resets ledger, clock, and stage-id counter for a fresh measurement
-    /// run.
+    /// Installs (or clears) the fault-injection schedule.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// The installed fault-injection schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Sets the recovery policy (retry / speculation / stage re-run knobs).
+    pub fn set_fault_tolerance(&mut self, cfg: FaultToleranceConfig) {
+        self.fault_tolerance = cfg;
+    }
+
+    /// The active recovery policy.
+    pub fn fault_tolerance(&self) -> FaultToleranceConfig {
+        self.fault_tolerance
+    }
+
+    /// The recovery-activity / wasted-work ledger.
+    pub fn fault_ledger(&self) -> &FaultLedger {
+        &self.faults
+    }
+
+    /// Snapshot of recovery-activity counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.snapshot()
+    }
+
+    /// Resets ledger, clock, stage-id counter, and fault counters for a
+    /// fresh measurement run. The fault plan and tolerance config persist.
     pub fn reset(&self) {
         self.ledger.reset();
         *self.clock.lock() = SimClock::new();
         self.next_stage.store(0, Ordering::Relaxed);
+        self.faults.reset();
     }
 }
 

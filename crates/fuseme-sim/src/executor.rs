@@ -1,11 +1,11 @@
 //! Wave-based parallel stage executor.
 
 use crossbeam::channel;
-use fuseme_obs::{keys, SpanKind};
+use fuseme_obs::{events, keys, SpanKind};
 
 use crate::cluster::Cluster;
 use crate::ledger::Phase;
-use crate::time::TaskCost;
+use crate::time::{SimClock, TaskCost, WaveSlot};
 use crate::SimError;
 
 /// Trace label for a ledger phase.
@@ -50,11 +50,22 @@ pub struct StageOutcome<T> {
 /// Order of effects matches a real run's failure modes:
 /// 1. memory admission — any task over θ_t aborts with `OutOfMemory`
 ///    *before* traffic or time is charged (Spark would fail at task start);
-/// 2. ledger charge for all `recv_bytes` under `phase`;
-/// 3. simulated-time accounting in waves of `N·T_c` slots, then the timeout
-///    check — a timed-out stage never executes its kernels, keeping
-///    simulations of hopeless configurations cheap;
-/// 4. real execution on a thread pool; outputs are reassembled in task
+/// 2. fault resolution — the cluster's [`crate::FaultPlan`] (if any)
+///    decides deterministically which tasks crash (and how many retries
+///    they burn) and which straggle; a task whose crashes exhaust the
+///    retry budget aborts the stage with [`SimError::TaskLost`] before any
+///    accounting, mirroring the admission fail-fast;
+/// 3. ledger charge for all `recv_bytes` under `phase`, plus a recharge
+///    for every retried attempt and speculative copy (recomputation is not
+///    free), with the extra traffic also tracked as wasted work;
+/// 4. simulated-time accounting in waves of `N·T_c` slots — straggler
+///    slowdowns, retry backoffs, and speculative-copy completions adjust
+///    per-task durations — then the timeout check; a timed-out stage never
+///    executes its kernels, keeping simulations of hopeless configurations
+///    cheap. An injected executor loss surfaces here as
+///    [`SimError::ExecutorLost`] *after* charging (the stage's work
+///    happened, then died with its executor);
+/// 5. real execution on a thread pool; outputs are reassembled in task
 ///    order, so downstream code is deterministic.
 pub fn run_stage<'a, T: Send + 'a>(
     cluster: &Cluster,
@@ -86,16 +97,39 @@ pub fn run_stage<'a, T: Send + 'a>(
         }
     }
 
-    // 2. Network charges, attributed to this stage so the trace's per-stage
-    // byte sums reconcile exactly with the ledger totals.
-    let total_bytes: u64 = tasks.iter().map(|t| t.recv_bytes).sum();
-    cluster
-        .ledger()
-        .charge_labeled(phase, stage_id, total_bytes);
-    span.set(keys::BYTES, total_bytes);
-    span.set(keys::FLOPS, tasks.iter().map(|t| t.flops).sum::<u64>());
+    // 2. Fault resolution: crash/retry counts and straggler slowdowns per
+    // task, decided deterministically before any accounting.
+    let ft = cluster.fault_tolerance();
+    let fault_plan = cluster.fault_plan();
+    let executor_lost = fault_plan.is_some_and(|p| p.executor_loss(stage_id));
+    let (crashes, slowdowns): (Vec<u32>, Vec<f64>) = match fault_plan {
+        None => (vec![0; tasks.len()], vec![1.0; tasks.len()]),
+        Some(p) => tasks
+            .iter()
+            .map(|t| {
+                let mut c = 0u32;
+                while c <= ft.max_task_retries && p.crashes(stage_id, t.task_id, c) {
+                    c += 1;
+                }
+                (c, p.slowdown(stage_id, t.task_id))
+            })
+            .unzip(),
+    };
+    // A task whose crashes exceeded the retry budget is lost — terminal
+    // for the stage, fail-fast before charges like an admission failure.
+    for (t, &c) in tasks.iter().zip(&crashes) {
+        if c > ft.max_task_retries {
+            return Err(SimError::TaskLost {
+                stage: stage_id,
+                task: t.task_id,
+                attempts: c,
+            });
+        }
+    }
 
-    // 3. Simulated time + timeout.
+    // 3a. Per-task durations: the declared cost under Eq. 2's overlap
+    // model, times the straggler slowdown, plus every failed attempt and
+    // its capped-exponential backoff serialized on the task's slot.
     let costs: Vec<TaskCost> = tasks
         .iter()
         .map(|t| TaskCost {
@@ -103,16 +137,145 @@ pub fn run_stage<'a, T: Send + 'a>(
             flops: t.flops,
         })
         .collect();
+    let net_bps = config.task_net_bandwidth();
+    let flops_ps = config.task_compute_bandwidth();
+    let base_secs: Vec<f64> = costs
+        .iter()
+        .map(|c| SimClock::task_secs(c, net_bps, flops_ps))
+        .collect();
+    let mut task_secs: Vec<f64> = (0..costs.len())
+        .map(|i| {
+            let eff = base_secs[i] * slowdowns[i];
+            let mut total = eff * (crashes[i] as f64 + 1.0);
+            for retry in 1..=crashes[i] {
+                total += ft.backoff_secs(retry);
+            }
+            total
+        })
+        .collect();
+
+    // 3b. Longest-first wave packing (identical to the fault-free
+    // scheduler when no faults adjust the durations).
+    let slots = config.total_tasks();
+    assert!(slots > 0, "cluster must have at least one task slot");
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| task_secs[b].total_cmp(&task_secs[a]));
+
+    // 3c. Recovery accounting. Retried attempts re-consolidate their
+    // inputs and redo their compute; with speculation on, any task
+    // exceeding `speculation_multiple`× its wave's median gets a copy
+    // launched at that threshold, restarting from scratch at declared
+    // (un-slowed) speed — the copy is only launched when it finishes
+    // before the straggler would, and the superseded original's work is
+    // wasted either way.
+    let mut extra_bytes = 0u64;
+    let mut extra_flops = 0u64;
+    let mut wasted_bytes = 0u64;
+    let mut wasted_flops = 0u64;
+    let mut total_retries = 0u64;
+    let mut spec_launches: Vec<usize> = Vec::new();
+    for i in 0..costs.len() {
+        if crashes[i] > 0 {
+            let b = costs[i].recv_bytes * crashes[i] as u64;
+            let fl = costs[i].flops * crashes[i] as u64;
+            extra_bytes += b;
+            extra_flops += fl;
+            wasted_bytes += b;
+            wasted_flops += fl;
+            total_retries += crashes[i] as u64;
+        }
+    }
+    if ft.speculation {
+        for wave in order.chunks(slots) {
+            let mut wave_times: Vec<f64> = wave.iter().map(|&i| task_secs[i]).collect();
+            wave_times.sort_by(|a, b| a.total_cmp(b));
+            let median = wave_times[wave_times.len() / 2];
+            let threshold = median * ft.speculation_multiple;
+            if threshold <= 0.0 {
+                continue;
+            }
+            for &i in wave {
+                let spec_finish = threshold + base_secs[i];
+                if task_secs[i] > threshold && spec_finish < task_secs[i] {
+                    extra_bytes += costs[i].recv_bytes;
+                    extra_flops += costs[i].flops;
+                    wasted_bytes += costs[i].recv_bytes;
+                    wasted_flops += costs[i].flops;
+                    task_secs[i] = spec_finish;
+                    spec_launches.push(i);
+                }
+            }
+        }
+    }
+
+    // 3d. Network + work charges, attributed to this stage so the trace's
+    // per-stage byte sums reconcile exactly with the ledger totals —
+    // recovery traffic included.
+    let total_bytes: u64 = costs.iter().map(|c| c.recv_bytes).sum::<u64>() + extra_bytes;
+    let total_flops: u64 = costs.iter().map(|c| c.flops).sum::<u64>() + extra_flops;
+    cluster
+        .ledger()
+        .charge_labeled(phase, stage_id, total_bytes);
+    cluster.ledger().charge_flops(total_flops);
+    span.set(keys::BYTES, total_bytes);
+    span.set(keys::FLOPS, total_flops);
+    if total_retries > 0 || !spec_launches.is_empty() {
+        let faults = cluster.fault_ledger();
+        faults.record_retries(total_retries);
+        faults.add_wasted(wasted_bytes, wasted_flops);
+        span.set(keys::RETRIES, total_retries);
+        span.set(keys::SPECULATIVE, spec_launches.len() as u64);
+        span.set(keys::WASTED_BYTES, wasted_bytes);
+        span.set(keys::WASTED_FLOPS, wasted_flops);
+        for (i, &c) in crashes.iter().enumerate() {
+            if c > 0 {
+                obs.event(events::TASK_RETRY, || {
+                    vec![
+                        (keys::STAGE_ID.to_string(), stage_id.into()),
+                        (keys::TASK_ID.to_string(), (tasks[i].task_id as u64).into()),
+                        (keys::ATTEMPTS.to_string(), (c as u64 + 1).into()),
+                        (
+                            keys::WASTED_BYTES.to_string(),
+                            (costs[i].recv_bytes * c as u64).into(),
+                        ),
+                        (
+                            keys::WASTED_FLOPS.to_string(),
+                            (costs[i].flops * c as u64).into(),
+                        ),
+                    ]
+                });
+            }
+        }
+        for &i in &spec_launches {
+            faults.record_speculative_launch();
+            obs.event(events::SPECULATIVE_LAUNCH, || {
+                vec![
+                    (keys::STAGE_ID.to_string(), stage_id.into()),
+                    (keys::TASK_ID.to_string(), (tasks[i].task_id as u64).into()),
+                    (keys::WINNER.to_string(), "speculative".into()),
+                ]
+            });
+        }
+    }
+
+    // 3e. Simulated time + timeout: a wave costs its slowest (adjusted)
+    // task; the stage costs the sum of its waves plus the fixed overhead.
     let sim_secs = {
         let mut clock = cluster.clock().lock();
         let sim_before = clock.elapsed_secs();
         clock.advance(config.stage_overhead_secs);
-        let sched = clock.advance_stage_schedule(
-            &costs,
-            config.total_tasks(),
-            config.task_net_bandwidth(),
-            config.task_compute_bandwidth(),
-        );
+        let waves: Vec<WaveSlot> = order
+            .chunks(slots)
+            .map(|wave| WaveSlot {
+                tasks: wave.len(),
+                secs: wave
+                    .iter()
+                    .map(|&i| task_secs[i])
+                    .fold(0.0f64, |acc, s| acc.max(s)),
+            })
+            .collect();
+        let total_secs: f64 = waves.iter().map(|w| w.secs).sum();
+        clock.advance(total_secs);
         let elapsed = clock.elapsed_secs();
         if elapsed > config.timeout_secs {
             return Err(SimError::Timeout {
@@ -125,18 +288,18 @@ pub fn run_stage<'a, T: Send + 'a>(
             let max_flops = costs.iter().map(|c| c.flops).max().unwrap_or(0);
             eprintln!(
                 "[sim] stage {:>8.2}s tasks {:>5} max_bytes {:>10} max_flops {:>12}",
-                sched.total_secs,
+                total_secs,
                 costs.len(),
                 max_bytes,
                 max_flops
             );
         }
-        let sim_secs = sched.total_secs + config.stage_overhead_secs;
+        let sim_secs = total_secs + config.stage_overhead_secs;
         span.set_sim(sim_before, sim_secs);
         if span.enabled() {
-            span.set(keys::WAVES, sched.waves.len() as u64);
+            span.set(keys::WAVES, waves.len() as u64);
             let mut wave_start = sim_before + config.stage_overhead_secs;
-            for (w, slot) in sched.waves.iter().enumerate() {
+            for (w, slot) in waves.iter().enumerate() {
                 let wspan = obs.child_span(SpanKind::Wave, span.id(), || format!("wave-{w}"));
                 wspan.set(keys::TASKS, slot.tasks as u64);
                 wspan.set_sim(wave_start, slot.secs);
@@ -146,7 +309,17 @@ pub fn run_stage<'a, T: Send + 'a>(
         sim_secs
     };
 
-    // 4. Real execution.
+    // The executor died after the stage's work (charged above) completed
+    // but before its outputs could be consumed; the driver may re-run.
+    if executor_lost {
+        cluster.fault_ledger().record_executor_loss();
+        obs.event(events::EXECUTOR_LOST, || {
+            vec![(keys::STAGE_ID.to_string(), stage_id.into())]
+        });
+        return Err(SimError::ExecutorLost { stage: stage_id });
+    }
+
+    // 5. Real execution.
     let n = tasks.len();
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -363,6 +536,152 @@ mod tests {
         // per-stage breakdown used for reconciliation.
         assert_eq!(cluster.comm().consolidation_bytes, 20);
         assert_eq!(cluster.ledger().stage_breakdown().len(), 1);
+    }
+
+    #[test]
+    fn crashed_task_succeeds_on_retry_and_charges_twice() {
+        let mut cluster = Cluster::new(ClusterConfig::test_small());
+        cluster.set_fault_plan(Some(crate::FaultPlan::new(1).with_crash_at(0, 0)));
+        cluster.set_fault_tolerance(crate::FaultToleranceConfig {
+            max_task_retries: 1,
+            retry_backoff_secs: 1.0,
+            ..crate::FaultToleranceConfig::default()
+        });
+        let tasks = vec![work(0, 100, 1, 7)];
+        let out = run_stage(&cluster, Phase::Consolidation, tasks).unwrap();
+        // The retry recomputed the real kernel result…
+        assert_eq!(out.outputs, vec![7]);
+        // …recharged the ledger (consolidation happens again)…
+        assert_eq!(cluster.comm().consolidation_bytes, 200);
+        // …extended simulated time by the backoff plus the redone attempt…
+        assert!(out.sim_secs > 1.0, "backoff must show up: {}", out.sim_secs);
+        // …and booked the failed attempt as wasted work.
+        let fs = cluster.fault_stats();
+        assert_eq!(fs.retries, 1);
+        assert_eq!(fs.wasted_bytes, 100);
+    }
+
+    #[test]
+    fn retries_exhausted_is_task_lost_before_charges() {
+        let mut cluster = Cluster::new(ClusterConfig::test_small());
+        cluster.set_fault_plan(Some(crate::FaultPlan::new(1).with_crash_at(0, 0)));
+        // Fault tolerance off: the first crash is terminal.
+        let err = run_stage(&cluster, Phase::Consolidation, vec![work(0, 100, 1, 0)]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::TaskLost {
+                    stage: 0,
+                    task: 0,
+                    attempts: 1
+                }
+            ),
+            "{err:?}"
+        );
+        assert_eq!(cluster.comm().total(), 0);
+    }
+
+    #[test]
+    fn rate_crashes_with_retry_budget_still_complete() {
+        let mut cluster = Cluster::new(ClusterConfig::test_small());
+        cluster.set_fault_plan(Some(crate::FaultPlan::new(42).with_crash_rate(0.3)));
+        cluster.set_fault_tolerance(crate::FaultToleranceConfig {
+            max_task_retries: 8,
+            ..crate::FaultToleranceConfig::default()
+        });
+        let tasks = (0..64).map(|i| work(i, 10, 1, i as i32)).collect();
+        let out = run_stage(&cluster, Phase::Consolidation, tasks).unwrap();
+        assert_eq!(out.outputs, (0..64).collect::<Vec<i32>>());
+        let fs = cluster.fault_stats();
+        assert!(fs.retries > 0, "a 30% crash rate must hit some of 64 tasks");
+        // Every retry recharged exactly one task's bytes.
+        assert_eq!(cluster.comm().total(), 640 + 10 * fs.retries);
+        assert_eq!(fs.wasted_bytes, 10 * fs.retries);
+    }
+
+    #[test]
+    fn speculative_copy_beats_straggler_and_shrinks_sim_time() {
+        let mut cfg = ClusterConfig::test_small();
+        cfg.nodes = 1;
+        cfg.tasks_per_node = 4;
+        cfg.net_bandwidth = 100.0; // per-task 25 B/s → 100-byte task = 4 s
+        cfg.compute_bandwidth = 1e12;
+        let straggle = |speculation: bool| {
+            let mut cluster = Cluster::new(cfg);
+            cluster.set_fault_plan(Some(crate::FaultPlan::new(9).with_straggler_at(0, 3, 10.0)));
+            cluster.set_fault_tolerance(crate::FaultToleranceConfig {
+                speculation,
+                speculation_multiple: 1.5,
+                ..crate::FaultToleranceConfig::default()
+            });
+            let tasks = (0..4).map(|i| work(i, 100, 1, 0)).collect();
+            let out = run_stage(&cluster, Phase::Consolidation, tasks).unwrap();
+            (out.sim_secs, cluster.comm().total(), cluster.fault_stats())
+        };
+        let (slow_secs, slow_bytes, slow_fs) = straggle(false);
+        let (spec_secs, spec_bytes, spec_fs) = straggle(true);
+        // Unmitigated straggler: the wave costs the 10×-slowed task.
+        assert!((slow_secs - 40.0).abs() < 1e-9, "{slow_secs}");
+        assert_eq!(slow_fs.speculative_launches, 0);
+        assert_eq!(slow_bytes, 400);
+        // Speculation: copy launches at 1.5× the 4 s median and finishes at
+        // 6 + 4 = 10 s, well before the straggler's 40 s.
+        assert!((spec_secs - 10.0).abs() < 1e-9, "{spec_secs}");
+        assert!(spec_secs < slow_secs);
+        assert_eq!(spec_fs.speculative_launches, 1);
+        // The copy's consolidation is real traffic and the superseded
+        // original is wasted work.
+        assert_eq!(spec_bytes, 500);
+        assert_eq!(spec_fs.wasted_bytes, 100);
+    }
+
+    #[test]
+    fn executor_loss_surfaces_after_charges() {
+        let mut cluster = Cluster::new(ClusterConfig::test_small());
+        cluster.set_fault_plan(Some(crate::FaultPlan::new(2).with_executor_loss_at(0)));
+        let err = run_stage(&cluster, Phase::Consolidation, vec![work(0, 100, 1, 0)]).unwrap_err();
+        assert!(
+            matches!(err, SimError::ExecutorLost { stage: 0 }),
+            "{err:?}"
+        );
+        // The stage's work happened before the executor died.
+        assert_eq!(cluster.comm().total(), 100);
+        assert_eq!(cluster.fault_stats().executor_losses, 1);
+        // The next stage id is fresh, so a targeted loss never re-fires.
+        let out = run_stage(&cluster, Phase::Consolidation, vec![work(0, 100, 1, 5)]).unwrap();
+        assert_eq!(out.outputs, vec![5]);
+    }
+
+    #[test]
+    fn fault_free_cluster_behaves_like_seed_scheduler() {
+        // Same scenario as `sim_time_advances_with_waves`, but with a
+        // fault plan installed that targets a different stage and the
+        // resilient recovery posture on: durations, charges, and wave
+        // decomposition must be identical to the fault-free run.
+        let mut cfg = ClusterConfig::test_small();
+        cfg.nodes = 1;
+        cfg.tasks_per_node = 2;
+        cfg.net_bandwidth = 100.0;
+        cfg.compute_bandwidth = 1e12;
+        let plain = Cluster::new(cfg);
+        let plain_out = run_stage(
+            &plain,
+            Phase::Consolidation,
+            (0..4).map(|i| work(i, 100, 1, 0)).collect(),
+        )
+        .unwrap();
+        let mut faulty = Cluster::new(cfg);
+        faulty.set_fault_plan(Some(crate::FaultPlan::new(3).with_crash_at(999, 0)));
+        faulty.set_fault_tolerance(crate::FaultToleranceConfig::resilient());
+        let faulty_out = run_stage(
+            &faulty,
+            Phase::Consolidation,
+            (0..4).map(|i| work(i, 100, 1, 0)).collect(),
+        )
+        .unwrap();
+        assert_eq!(plain_out.sim_secs, faulty_out.sim_secs);
+        assert_eq!(plain.comm(), faulty.comm());
+        assert!(!faulty.fault_stats().any());
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct CommLedger {
     consolidation: AtomicU64,
     aggregation: AtomicU64,
     per_stage: Mutex<BTreeMap<u64, CommStats>>,
+    // Not communication, but metered alongside: total declared FLOPs of
+    // admitted stages (including retried and speculative work), so fault
+    // accounting can compute per-attempt work deltas.
+    flops: AtomicU64,
 }
 
 /// A point-in-time copy of ledger totals.
@@ -83,6 +87,17 @@ impl CommLedger {
         }
     }
 
+    /// Meters `flops` of computation (declared analytic FLOPs of an
+    /// admitted stage, recovery work included).
+    pub fn charge_flops(&self, flops: u64) {
+        self.flops.fetch_add(flops, Ordering::Relaxed);
+    }
+
+    /// Total metered FLOPs.
+    pub fn flops_total(&self) -> u64 {
+        self.flops.load(Ordering::Relaxed)
+    }
+
     /// Current totals.
     pub fn snapshot(&self) -> CommStats {
         CommStats {
@@ -96,11 +111,13 @@ impl CommLedger {
         self.per_stage.lock().clone()
     }
 
-    /// Resets both counters and the per-stage breakdown to zero.
+    /// Resets both counters, the per-stage breakdown, and the FLOPs meter
+    /// to zero.
     pub fn reset(&self) {
         self.consolidation.store(0, Ordering::Relaxed);
         self.aggregation.store(0, Ordering::Relaxed);
         self.per_stage.lock().clear();
+        self.flops.store(0, Ordering::Relaxed);
     }
 }
 

@@ -19,11 +19,19 @@
 //!   (communication and computation overlap, paper §3.3), and a configurable
 //!   cap reproduces the paper's 12-hour time-outs.
 //!
-//! Determinism: stages, waves, and ledger charges are ordered by task id;
-//! thread scheduling never affects observable results.
+//! * **Fault injection and recovery** — a seeded [`FaultPlan`] perturbs
+//!   tasks deterministically (crashes, stragglers, executor loss); a
+//!   [`FaultToleranceConfig`] enables Spark-style recovery — per-task retry
+//!   with capped exponential backoff and wave-level speculative execution —
+//!   whose recomputation is charged to the ledger and clock like any other
+//!   work (see [`fault`]).
+//!
+//! Determinism: stages, waves, ledger charges, and fault draws are ordered
+//! by task id; thread scheduling never affects observable results.
 
 pub mod cluster;
 pub mod executor;
+pub mod fault;
 pub mod ledger;
 pub mod partitioner;
 pub mod shuffle;
@@ -31,6 +39,8 @@ pub mod time;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use executor::{StageOutcome, TaskWork};
+pub use fault::FaultToleranceConfig;
+pub use fault::{FaultKind, FaultLedger, FaultPlan, FaultScope, FaultSpec, FaultStats};
 pub use ledger::{CommLedger, CommStats, Phase};
 pub use partitioner::Partitioner;
 pub use time::{SimClock, StageSchedule, WaveSlot};
@@ -57,6 +67,22 @@ pub enum SimError {
     },
     /// A kernel failed inside a task.
     Task(String),
+    /// An injected crash exhausted the task's retry budget (with fault
+    /// tolerance off, the first crash is terminal).
+    TaskLost {
+        /// Stage the task belonged to.
+        stage: u64,
+        /// Offending task id.
+        task: usize,
+        /// Attempts consumed (1 = no retries were allowed).
+        attempts: u32,
+    },
+    /// The stage's executor died; recoverable by a driver-side stage
+    /// re-run when [`FaultToleranceConfig::max_stage_reruns`] allows it.
+    ExecutorLost {
+        /// Stage whose executor was lost.
+        stage: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -74,6 +100,17 @@ impl std::fmt::Display for SimError {
                 write!(f, "timed out: {elapsed:.1}s simulated > cap {cap:.1}s")
             }
             SimError::Task(msg) => write!(f, "task failure: {msg}"),
+            SimError::TaskLost {
+                stage,
+                task,
+                attempts,
+            } => write!(
+                f,
+                "task {task} of stage {stage} lost after {attempts} attempt(s)"
+            ),
+            SimError::ExecutorLost { stage } => {
+                write!(f, "executor lost during stage {stage}")
+            }
         }
     }
 }
