@@ -23,7 +23,7 @@ impl RunStatus {
     /// Classifies a simulator error.
     pub fn from_error(e: &SimError) -> RunStatus {
         match e {
-            SimError::OutOfMemory { .. } => RunStatus::OutOfMemory,
+            SimError::OutOfMemory { .. } | SimError::OomExhausted(_) => RunStatus::OutOfMemory,
             SimError::Timeout { .. } => RunStatus::Timeout,
             // Exhausted retries and unrecovered executor losses are plain
             // failures — the paper's tables have no dedicated class for
@@ -138,8 +138,22 @@ mod tests {
             RunStatus::from_error(&SimError::OutOfMemory {
                 task: 0,
                 needed: 10,
-                budget: 5
+                budget: 5,
+                root: None,
+                pqr: None,
+                site: fuseme_sim::OomSite::Admission,
             }),
+            RunStatus::OutOfMemory
+        );
+        assert_eq!(
+            RunStatus::from_error(&SimError::OomExhausted(Box::new(fuseme_sim::OomReport {
+                root: 7,
+                declared_bytes: 10,
+                actual_bytes: 40,
+                budget: 5,
+                min_feasible_theta: 15,
+                rungs: vec![fuseme_sim::LadderRung::Unfused],
+            }))),
             RunStatus::OutOfMemory
         );
         assert_eq!(
@@ -177,6 +191,9 @@ mod tests {
                 task: 1,
                 needed: 2,
                 budget: 1,
+                root: Some(3),
+                pqr: Some((2, 2, 1)),
+                site: fuseme_sim::OomSite::Runtime,
             },
         );
         assert!(s.sim_secs.is_nan());

@@ -2,7 +2,7 @@
 //! evaluation (§6) at a configurable scale.
 //!
 //! ```text
-//! experiments [all|table1|table3|fig12|fig13|fig14|fig15|ablation|chaos]
+//! experiments [all|table1|table3|fig12|fig13|fig14|fig15|ablation|chaos|memstress]
 //!             [--scale S]    element-dimension divisor (divides 1000; default 250)
 //!             [--iters N]    GNMF iterations for fig14 (default 10)
 //!             [--out DIR]    JSON output directory (default results/)
@@ -13,7 +13,9 @@
 
 use std::path::PathBuf;
 
-use fuseme_bench::experiments::{ablation, chaos, fig12, fig13, fig14, fig15, table1, table3};
+use fuseme_bench::experiments::{
+    ablation, chaos, fig12, fig13, fig14, fig15, memstress, table1, table3,
+};
 use fuseme_bench::Scale;
 
 fn main() {
@@ -48,7 +50,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [all|table1|table3|fig12|fig13|fig14|fig15|ablation|chaos]... \
+                    "usage: experiments [all|table1|table3|fig12|fig13|fig14|fig15|ablation|chaos|memstress]... \
                      [--scale S] [--iters N] [--out DIR] [--trace]"
                 );
                 return;
@@ -88,6 +90,7 @@ fn main() {
                 fig15::run(scale, &out);
                 ablation::run(scale, &out);
                 chaos::run(scale, &out);
+                memstress::run(scale, &out);
             }
             "table1" => {
                 table1::run(scale, &out);
@@ -127,6 +130,9 @@ fn main() {
             }
             "chaos" => {
                 chaos::run(scale, &out);
+            }
+            "memstress" => {
+                memstress::run(scale, &out);
             }
             other => die(&format!("unknown experiment '{other}'")),
         }

@@ -10,5 +10,6 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod memstress;
 pub mod table1;
 pub mod table3;

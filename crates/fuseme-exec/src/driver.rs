@@ -15,14 +15,17 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use fuseme_fusion::cfg::{split, split_candidates};
 use fuseme_fusion::cost::CostModel;
-use fuseme_fusion::optimizer::{optimize_bounded, OptResult, Pqr};
+use fuseme_fusion::optimizer::{min_feasible_theta, optimize_bounded, OptResult, Pqr};
 use fuseme_fusion::plan::{mm_dims, ExecUnit, FusionPlan, PartialPlan};
 use fuseme_fusion::space::SpaceTree;
 use fuseme_matrix::BlockedMatrix;
 use fuseme_obs::{events, keys, SpanGuard, SpanKind};
 use fuseme_plan::{Bindings, NodeId, OpKind, QueryDag};
-use fuseme_sim::{Cluster, CommStats, FaultStats, FaultToleranceConfig, SimError};
+use fuseme_sim::{
+    Cluster, CommStats, FaultStats, FaultToleranceConfig, LadderRung, OomReport, SimError,
+};
 
 use crate::fused_op::{execute_fused, supports_k_split, Strategy, ValueMap};
 
@@ -75,6 +78,29 @@ impl ExecConfig {
                 compute_bandwidth: c.compute_bandwidth,
             },
             fault_tolerance: cluster.fault_tolerance(),
+        }
+    }
+}
+
+/// What the bounded cuboid search concluded for one unit. Recorded on the
+/// unit's span (`opt_outcome`) so an infeasible search that fell back to
+/// the finest partitioning is visible in traces rather than silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptOutcome {
+    /// The search found a partitioning within the effective budget.
+    Feasible,
+    /// No point fit the budget: the finest partitioning was chosen so that
+    /// admission control (or the memory-pressure recovery ladder) reports
+    /// the failure honestly instead of the planner hiding it.
+    InfeasibleFellBack,
+}
+
+impl OptOutcome {
+    /// Stable trace-attribute value for this outcome.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OptOutcome::Feasible => "feasible",
+            OptOutcome::InfeasibleFellBack => "infeasible-fell-back",
         }
     }
 }
@@ -135,7 +161,17 @@ pub fn execute_plan(
                 let unit_sim = cluster.elapsed_secs();
                 let (strategy, opt) = choose_strategy(dag, p, &values, config, &mut stats)?;
                 annotate_unit(&span, p.root, &strategy, opt.as_ref());
-                let out = run_unit(cluster, dag, p, &values, &strategy, config)?;
+                let out = run_unit_recovering(
+                    cluster,
+                    dag,
+                    p,
+                    &mut values,
+                    &strategy,
+                    opt.as_ref(),
+                    config,
+                    &mut stats,
+                    &span,
+                )?;
                 span.set_sim(unit_sim, cluster.elapsed_secs() - unit_sim);
                 values.insert(p.root, out);
                 stats.fused_units += 1;
@@ -155,7 +191,17 @@ pub fn execute_plan(
                     )
                 };
                 annotate_unit(&span, *op, &strategy, opt.as_ref());
-                let out = run_unit(cluster, dag, &singleton, &values, &strategy, config)?;
+                let out = run_unit_recovering(
+                    cluster,
+                    dag,
+                    &singleton,
+                    &mut values,
+                    &strategy,
+                    opt.as_ref(),
+                    config,
+                    &mut stats,
+                    &span,
+                )?;
                 span.set_sim(unit_sim, cluster.elapsed_secs() - unit_sim);
                 values.insert(*op, out);
                 stats.single_units += 1;
@@ -232,6 +278,239 @@ fn run_unit(
     }
 }
 
+/// One attempt's ledger snapshot, for booking a failed attempt's charges as
+/// wasted work without double-counting waste the attempt already booked
+/// itself (task retries, speculation, stage re-runs).
+struct WasteMark {
+    comm: CommStats,
+    flops: u64,
+    faults: FaultStats,
+}
+
+impl WasteMark {
+    fn take(cluster: &Cluster) -> Self {
+        WasteMark {
+            comm: cluster.comm(),
+            flops: cluster.ledger().flops_total(),
+            faults: cluster.fault_stats(),
+        }
+    }
+
+    /// Books everything charged since the mark as wasted work and re-arms
+    /// the mark. Returns the `(bytes, flops)` newly booked.
+    fn book(&mut self, cluster: &Cluster) -> (u64, u64) {
+        let attempt = cluster.fault_stats().since(&self.faults);
+        let bytes = cluster
+            .comm()
+            .since(&self.comm)
+            .total()
+            .saturating_sub(attempt.wasted_bytes);
+        let flops =
+            (cluster.ledger().flops_total() - self.flops).saturating_sub(attempt.wasted_flops);
+        cluster.fault_ledger().add_wasted(bytes, flops);
+        *self = WasteMark::take(cluster);
+        (bytes, flops)
+    }
+}
+
+/// Runs one unit with the memory-pressure recovery ladder armed: when the
+/// unit fails admission or hits a runtime OOM and
+/// [`FaultToleranceConfig::memory_recovery`] is on, the driver walks the
+/// ladder — tightened re-planning, plan splitting, unfused execution —
+/// before giving up with a structured [`OomReport`]. With recovery off the
+/// original error propagates untouched.
+#[allow(clippy::too_many_arguments)]
+fn run_unit_recovering(
+    cluster: &Cluster,
+    dag: &QueryDag,
+    plan: &PartialPlan,
+    values: &mut ValueMap,
+    strategy: &Strategy,
+    opt: Option<&OptResult>,
+    config: &ExecConfig,
+    stats: &mut EngineStats,
+    span: &SpanGuard,
+) -> Result<Arc<BlockedMatrix>, SimError> {
+    let mut mark = WasteMark::take(cluster);
+    match run_unit(cluster, dag, plan, values, strategy, config) {
+        Ok(out) => Ok(out),
+        Err(e @ SimError::OutOfMemory { .. }) if config.fault_tolerance.memory_recovery => {
+            recover_from_oom(
+                cluster, dag, plan, values, opt, config, stats, span, e, &mut mark,
+            )
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// The memory-pressure recovery ladder (rungs in order):
+///
+/// 1. **Re-plan** — re-run the bounded cuboid search with the per-task
+///    budget θ_t discounted by `mem_headroom` (shrinking by
+///    `mem_headroom_decay` per OOM), steering the search toward a finer
+///    `(P,Q,R)` than the one that blew up. Re-running also escapes
+///    transient estimate skew: the fresh attempt draws new stage ids.
+/// 2. **Split** — carve a multiplication off the fused plan with
+///    Algorithm 3's exploitation-phase split (most distant from `v_mm`
+///    first, the candidate compounding the most replication) and run the
+///    halves as separate units.
+/// 3. **Unfused** — abandon fusion: run every member operator as its own
+///    unit in dependency order.
+/// 4. **Report** — fail with [`SimError::OomExhausted`] carrying the unit
+///    root, declared vs actual peak, the minimum feasible θ_t, and every
+///    rung attempted.
+///
+/// Each failed attempt's ledger charges are booked as wasted work, so the
+/// run-level invariant `ledger == oracle + wasted` keeps holding through
+/// recovery.
+#[allow(clippy::too_many_arguments)]
+fn recover_from_oom(
+    cluster: &Cluster,
+    dag: &QueryDag,
+    plan: &PartialPlan,
+    values: &mut ValueMap,
+    opt: Option<&OptResult>,
+    config: &ExecConfig,
+    stats: &mut EngineStats,
+    span: &SpanGuard,
+    first: SimError,
+    mark: &mut WasteMark,
+) -> Result<Arc<BlockedMatrix>, SimError> {
+    let ft = &config.fault_tolerance;
+    let obs = fuseme_obs::handle();
+    let mut rungs: Vec<LadderRung> = Vec::new();
+    let mut last = first;
+    let max_r = if supports_k_split(dag, plan) {
+        usize::MAX
+    } else {
+        1
+    };
+
+    // Rung 1 — re-plan under a tightened budget (CFO only: the other
+    // policies have no parameters a search could tighten).
+    if matches!(config.matmul, MatmulStrategy::Cfo) && plan.main_matmul(dag).is_some() {
+        let tree = SpaceTree::build(dag, plan);
+        let mut headroom = ft.mem_headroom;
+        for _ in 0..ft.max_replans {
+            let tightened = CostModel {
+                mem_per_task: (config.model.mem_per_task as f64 * headroom) as u64,
+                ..config.model
+            };
+            let replanned = optimize_bounded(dag, plan, &tree, &tightened, max_r);
+            if !replanned.feasible {
+                break; // tightening further cannot help
+            }
+            let (wb, wf) = mark.book(cluster);
+            cluster.fault_ledger().record_replan();
+            rungs.push(LadderRung::Replan { headroom });
+            obs.event(events::REPLAN, || {
+                vec![
+                    (keys::ROOT.to_string(), (plan.root as u64).into()),
+                    (keys::HEADROOM.to_string(), headroom.into()),
+                    (keys::WASTED_BYTES.to_string(), wb.into()),
+                    (keys::WASTED_FLOPS.to_string(), wf.into()),
+                ]
+            });
+            record_pqr(stats, plan.root, replanned.pqr);
+            let retry = Strategy::Cuboid { pqr: replanned.pqr };
+            match run_unit(cluster, dag, plan, values, &retry, config) {
+                Ok(out) => return Ok(out),
+                Err(e @ SimError::OutOfMemory { .. }) => {
+                    last = e;
+                    headroom *= ft.mem_headroom_decay;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // Rung 2 — split the fused plan and run the halves separately.
+    for vi in split_candidates(dag, plan) {
+        let Some((fm, fi)) = split(dag, plan, vi) else {
+            continue;
+        };
+        let (wb, wf) = mark.book(cluster);
+        cluster.fault_ledger().record_plan_split();
+        rungs.push(LadderRung::Split);
+        obs.event(events::PLAN_SPLIT, || {
+            vec![
+                (keys::ROOT.to_string(), (plan.root as u64).into()),
+                (keys::WASTED_BYTES.to_string(), wb.into()),
+                (keys::WASTED_FLOPS.to_string(), wf.into()),
+            ]
+        });
+        match run_subplans(cluster, dag, &[fi, fm], values, config, stats) {
+            Ok(out) => return Ok(out),
+            Err(e @ SimError::OutOfMemory { .. }) => last = e,
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Rung 3 — abandon fusion: every member operator as its own unit.
+    if plan.ops.len() > 1 {
+        let (wb, wf) = mark.book(cluster);
+        cluster.fault_ledger().record_unfused_fallback();
+        rungs.push(LadderRung::Unfused);
+        obs.event(events::UNFUSED_FALLBACK, || {
+            vec![
+                (keys::ROOT.to_string(), (plan.root as u64).into()),
+                (keys::WASTED_BYTES.to_string(), wb.into()),
+                (keys::WASTED_FLOPS.to_string(), wf.into()),
+            ]
+        });
+        let singletons: Vec<PartialPlan> = plan
+            .ops
+            .iter()
+            .map(|&op| PartialPlan::new([op].into_iter().collect(), op))
+            .collect();
+        match run_subplans(cluster, dag, &singletons, values, config, stats) {
+            Ok(out) => return Ok(out),
+            Err(e @ SimError::OutOfMemory { .. }) => last = e,
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Rung 4 — exhausted: report what the unit actually needs.
+    mark.book(cluster);
+    let (actual, budget) = match &last {
+        SimError::OutOfMemory { needed, budget, .. } => (*needed, *budget),
+        _ => (0, config.model.mem_per_task),
+    };
+    let tree = SpaceTree::build(dag, plan);
+    let report = OomReport {
+        root: plan.root,
+        declared_bytes: opt.map(|o| o.est.mem_bytes).unwrap_or(actual),
+        actual_bytes: actual,
+        budget,
+        min_feasible_theta: min_feasible_theta(dag, plan, &tree, max_r),
+        rungs,
+    };
+    span.set(keys::MIN_THETA, report.min_feasible_theta);
+    Err(SimError::OomExhausted(Box::new(report)))
+}
+
+/// Runs a sequence of sub-plans as separate units in order (callers pass
+/// them dependency-sorted), materializing each root into `values`; returns
+/// the last root's value. Used by the recovery ladder's split and unfused
+/// rungs.
+fn run_subplans(
+    cluster: &Cluster,
+    dag: &QueryDag,
+    plans: &[PartialPlan],
+    values: &mut ValueMap,
+    config: &ExecConfig,
+    stats: &mut EngineStats,
+) -> Result<Arc<BlockedMatrix>, SimError> {
+    let mut out = None;
+    for sub in plans {
+        let (strategy, _) = choose_strategy(dag, sub, values, config, stats)?;
+        let o = run_unit(cluster, dag, sub, values, &strategy, config)?;
+        values.insert(sub.root, Arc::clone(&o));
+        out = Some(o);
+    }
+    out.ok_or_else(|| SimError::Task("empty sub-plan sequence".into()))
+}
+
 /// Records an exec-unit span's strategy and (when a cost-based search ran)
 /// the optimizer's predicted `NetEst`/`MemEst`/`ComEst`, which the trace
 /// summary later pairs with the simulated actuals.
@@ -257,6 +536,22 @@ fn annotate_unit(span: &SpanGuard, root: NodeId, strategy: &Strategy, opt: Optio
         span.set(keys::PRED_COST, opt.cost);
         span.set(keys::PRED_EVALUATED, opt.stats.evaluated);
         span.set(keys::PRED_FEASIBLE, opt.feasible);
+        let outcome = if opt.feasible {
+            OptOutcome::Feasible
+        } else {
+            OptOutcome::InfeasibleFellBack
+        };
+        span.set(keys::OPT_OUTCOME, outcome.as_str());
+    }
+}
+
+/// Records (or replaces) the chosen `(P,Q,R)` for a unit root. Recovery
+/// re-plans overwrite the original choice so `pqr_choices` reflects what
+/// actually executed, not the attempt that blew up.
+fn record_pqr(stats: &mut EngineStats, root: NodeId, pqr: Pqr) {
+    match stats.pqr_choices.iter_mut().find(|(r, _)| *r == root) {
+        Some(slot) => slot.1 = pqr,
+        None => stats.pqr_choices.push((root, pqr)),
     }
 }
 
@@ -287,9 +582,11 @@ fn choose_strategy(
             };
             let opt = optimize_bounded(dag, plan, &tree, &config.model, max_r);
             // On infeasible searches Algorithm 3 falls back to the finest
-            // partitioning and lets admission control report the failure
-            // honestly.
-            stats.pqr_choices.push((plan.root, opt.pqr));
+            // partitioning and lets admission control (or the recovery
+            // ladder) report the failure honestly; the outcome is recorded
+            // on the unit span by `annotate_unit` so the fallback is
+            // explicit in traces rather than silent.
+            record_pqr(stats, plan.root, opt.pqr);
             Ok((Strategy::Cuboid { pqr: opt.pqr }, Some(opt)))
         }
         MatmulStrategy::Bfo { partition_bytes } => {
@@ -551,6 +848,154 @@ mod tests {
             matches!(err, SimError::ExecutorLost { stage: 0 }),
             "{err:?}"
         );
+    }
+
+    /// A chain of matrix multiplications, fused into one unit. With `n = 2`
+    /// (`(A×B)×C`) the per-task footprint is dominated by the nested
+    /// multiplication's unsplittable inner axis, so the fused unit needs
+    /// ~8 KB per task while its split halves fit in ~2.4 KB — the shape the
+    /// recovery ladder's split and unfused rungs are made for.
+    fn mm_chain_fixture(n: usize) -> (QueryDag, Bindings, BlockedMatrix, PartialPlan) {
+        let bs = 10;
+        let mut b = DagBuilder::new();
+        let mut mats = vec![gen::dense_uniform(40, 40, bs, 0.1, 1.0, 7).unwrap()];
+        for i in 0..n {
+            let cols = if i + 1 == n { 10 } else { 40 };
+            mats.push(gen::dense_uniform(40, cols, bs, 0.1, 1.0, 8 + i as u64).unwrap());
+        }
+        let leaves: Vec<_> = mats
+            .iter()
+            .enumerate()
+            .map(|(i, m)| b.input(&format!("M{i}"), *m.meta()))
+            .collect();
+        let mut cur = b.matmul(leaves[0], leaves[1]);
+        let mut mms = vec![cur.id()];
+        for leaf in &leaves[2..] {
+            cur = b.matmul(cur, *leaf);
+            mms.push(cur.id());
+        }
+        let dag = b.finish(vec![cur]);
+        let plan = PartialPlan::new(mms.into_iter().collect(), cur.id());
+        let bindings: Bindings = mats
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| (format!("M{i}"), Arc::new(m)))
+            .collect();
+        let expected = evaluate(&dag, &bindings).unwrap()[0]
+            .as_matrix()
+            .unwrap()
+            .as_ref()
+            .clone();
+        (dag, bindings, expected, plan)
+    }
+
+    fn chain_cluster(mem_per_task: u64) -> Cluster {
+        let mut cfg = ClusterConfig::test_small();
+        cfg.mem_per_task = mem_per_task;
+        let mut cl = Cluster::new(cfg);
+        cl.set_fault_tolerance(fuseme_sim::FaultToleranceConfig::resilient());
+        cl
+    }
+
+    #[test]
+    fn runtime_oom_fails_without_memory_recovery() {
+        let (dag, bindings, _) = gnmf_fixture();
+        let mut cl = cluster();
+        // Deterministic estimate skew: the first stage's task 0 actually
+        // peaks far above its declared MemEst.
+        cl.set_fault_plan(Some(
+            fuseme_sim::FaultPlan::new(9).with_mem_skew_at(0, 0, 1e12),
+        ));
+        let config = ExecConfig::for_cluster(&cl, MatmulStrategy::Cfo);
+        let plan = Cfg::new(config.model).plan(&dag);
+        let err = execute_plan(&cl, &dag, &plan, &bindings, &config).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::OutOfMemory {
+                    site: fuseme_sim::OomSite::Runtime,
+                    root: Some(_),
+                    pqr: Some(_),
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn runtime_oom_recovered_by_replan() {
+        let (dag, bindings, expected) = gnmf_fixture();
+        let plan = {
+            let cl = cluster();
+            let config = ExecConfig::for_cluster(&cl, MatmulStrategy::Cfo);
+            Cfg::new(config.model).plan(&dag)
+        };
+        let (oracle_comm, oracle_pqr) = {
+            let cl = cluster();
+            let config = ExecConfig::for_cluster(&cl, MatmulStrategy::Cfo);
+            let (_, s) = execute_plan(&cl, &dag, &plan, &bindings, &config).unwrap();
+            (s.comm.total(), s.pqr_choices)
+        };
+        let mut cl = cluster();
+        cl.set_fault_plan(Some(
+            fuseme_sim::FaultPlan::new(9).with_mem_skew_at(0, 0, 1e12),
+        ));
+        cl.set_fault_tolerance(fuseme_sim::FaultToleranceConfig::resilient());
+        let config = ExecConfig::for_cluster(&cl, MatmulStrategy::Cfo);
+        let (roots, stats) = execute_plan(&cl, &dag, &plan, &bindings, &config).unwrap();
+        assert!(roots[0].approx_eq(&expected, 1e-9));
+        assert!(stats.faults.replans >= 1, "{:?}", stats.faults);
+        assert!(stats.faults.wasted_bytes > 0);
+        // The generous budget makes the tightened search re-land on the
+        // oracle's (P,Q,R); the re-run escapes the targeted skew (fresh
+        // stage ids), so the ledger reconciles exactly.
+        assert_eq!(stats.pqr_choices, oracle_pqr);
+        assert_eq!(stats.comm.total(), oracle_comm + stats.faults.wasted_bytes);
+    }
+
+    #[test]
+    fn admission_oom_recovered_by_plan_split() {
+        let (dag, bindings, expected, plan) = mm_chain_fixture(2);
+        let cl = chain_cluster(4096);
+        let config = ExecConfig::for_cluster(&cl, MatmulStrategy::Cfo);
+        let fplan = FusionPlan::assemble(&dag, vec![plan]);
+        let (roots, stats) = execute_plan(&cl, &dag, &fplan, &bindings, &config).unwrap();
+        assert!(roots[0].approx_eq(&expected, 1e-9));
+        assert!(stats.faults.plan_splits >= 1, "{:?}", stats.faults);
+        assert!(stats.faults.mem_admission_rejects >= 1);
+    }
+
+    #[test]
+    fn admission_oom_recovered_by_unfused_fallback() {
+        let (dag, bindings, expected, plan) = mm_chain_fixture(3);
+        let cl = chain_cluster(4096);
+        let config = ExecConfig::for_cluster(&cl, MatmulStrategy::Cfo);
+        let fplan = FusionPlan::assemble(&dag, vec![plan]);
+        let (roots, stats) = execute_plan(&cl, &dag, &fplan, &bindings, &config).unwrap();
+        assert!(roots[0].approx_eq(&expected, 1e-9));
+        // Both split candidates still hold a two-multiplication half that
+        // cannot fit, so the ladder had to abandon fusion entirely.
+        assert!(stats.faults.plan_splits >= 1, "{:?}", stats.faults);
+        assert_eq!(stats.faults.unfused_fallbacks, 1);
+    }
+
+    #[test]
+    fn ladder_exhaustion_reports_structured_oom() {
+        let (dag, bindings, _, plan) = mm_chain_fixture(2);
+        let root = plan.root;
+        let cl = chain_cluster(512);
+        let config = ExecConfig::for_cluster(&cl, MatmulStrategy::Cfo);
+        let fplan = FusionPlan::assemble(&dag, vec![plan]);
+        let err = execute_plan(&cl, &dag, &fplan, &bindings, &config).unwrap_err();
+        let SimError::OomExhausted(report) = err else {
+            panic!("expected OomExhausted, got {err:?}");
+        };
+        assert_eq!(report.root, root);
+        assert_eq!(report.budget, 512);
+        assert!(report.min_feasible_theta > 512);
+        assert!(!report.rungs.is_empty());
+        assert!(report.to_string().contains("out of memory"));
     }
 
     #[test]

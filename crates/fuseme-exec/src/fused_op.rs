@@ -172,10 +172,23 @@ pub fn execute_fused(
     {
         let cfg = cluster.config();
         if est.mem_bytes > cfg.mem_per_task.saturating_mul(4) {
+            cluster.fault_ledger().record_mem_admission_reject();
+            fuseme_obs::handle().event(fuseme_obs::events::MEM_ADMISSION_REJECT, || {
+                vec![
+                    (
+                        fuseme_obs::keys::ROOT.to_string(),
+                        (plan.root as u64).into(),
+                    ),
+                    (fuseme_obs::keys::PEAK_MEM.to_string(), est.mem_bytes.into()),
+                ]
+            });
             return Err(SimError::OutOfMemory {
                 task: 0,
                 needed: est.mem_bytes,
                 budget: cfg.mem_per_task,
+                root: Some(plan.root),
+                pqr: Some((eq.p, eq.q, eq.r)),
+                site: fuseme_sim::OomSite::Admission,
             });
         }
         let projected = cluster.elapsed_secs()
@@ -275,7 +288,11 @@ pub fn execute_fused(
             job: Box::new(move || {
                 let mut ctx = KernelCtx::new(dag, ops, main_mm, k_range, store);
                 if two_stage {
-                    let mm = main_mm.expect("two-stage requires a matmul");
+                    let Some(mm) = main_mm else {
+                        return Err(SimError::Task(
+                            "two-stage execution requires a matmul".into(),
+                        ));
+                    };
                     // Only output blocks the plan's sparsity gate lets
                     // through need multiplication partials — skipping the
                     // rest is what keeps the never-materialized
@@ -301,7 +318,8 @@ pub fn execute_fused(
             }),
         });
     }
-    let stage1 = run_stage(cluster, Phase::Consolidation, work)?;
+    let stage1 =
+        run_stage(cluster, Phase::Consolidation, work).map_err(|e| enrich_oom(e, plan.root, eq))?;
 
     // ----- stage 2 (cuboid aggregation across the k-axis) ----------------------
     let outputs: Vec<TaskOut> = if two_stage {
@@ -352,13 +370,38 @@ pub fn execute_fused(
                 }),
             });
         }
-        run_stage(cluster, Phase::Aggregation, reducers)?.outputs
+        run_stage(cluster, Phase::Aggregation, reducers)
+            .map_err(|e| enrich_oom(e, plan.root, eq))?
+            .outputs
     } else {
         stage1.outputs
     };
 
     // ----- assemble the result -------------------------------------------------
     assemble(cluster, dag, plan, agg_kind, outputs)
+}
+
+/// Fills an OOM error's unit provenance — the exec-unit root and the chosen
+/// `(P,Q,R)` — which the stage-level executor cannot know.
+fn enrich_oom(e: SimError, root: NodeId, eq: Pqr) -> SimError {
+    match e {
+        SimError::OutOfMemory {
+            task,
+            needed,
+            budget,
+            root: None,
+            pqr: None,
+            site,
+        } => SimError::OutOfMemory {
+            task,
+            needed,
+            budget,
+            root: Some(root),
+            pqr: Some((eq.p, eq.q, eq.r)),
+            site,
+        },
+        other => other,
+    }
 }
 
 /// `true` when a plan's structure allows splitting the k-axis (`R > 1`).

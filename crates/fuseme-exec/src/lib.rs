@@ -18,11 +18,13 @@
 //! * [`driver`] — executes a whole [`fuseme_fusion::FusionPlan`] over named
 //!   inputs, materializing unit outputs and collecting run statistics.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod driver;
 pub mod fused_op;
 pub mod kernel;
 pub mod unfused;
 
-pub use driver::{execute_plan, EngineStats, ExecConfig, MatmulStrategy};
+pub use driver::{execute_plan, EngineStats, ExecConfig, MatmulStrategy, OptOutcome};
 pub use fused_op::Strategy;
 pub use kernel::{KernelCtx, LocalStore};

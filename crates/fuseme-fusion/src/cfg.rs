@@ -77,18 +77,13 @@ impl Cfg {
         let mut queue: std::collections::VecDeque<PartialPlan> = candidates.into();
         let mut done = Vec::new();
         while let Some(mut plan) = queue.pop_front() {
-            let Some(vm) = plan.main_matmul(dag) else {
+            if plan.main_matmul(dag).is_none() {
                 done.push(plan);
                 continue;
-            };
+            }
             let tree = SpaceTree::build(dag, &plan);
             let mut cost = self.exec_cost(dag, &plan, &tree);
-            // Split points: all member matmuls except the main, most
-            // distant from the main first (they compound the most
-            // replication, §4.2).
-            let mut sp: Vec<NodeId> = plan.matmuls(dag).into_iter().filter(|&v| v != vm).collect();
-            sp.sort_by_key(|&v| std::cmp::Reverse((dag.distance(v, vm).unwrap_or(0), v)));
-            for vi in sp {
+            for vi in split_candidates(dag, &plan) {
                 if !plan.ops.contains(&vi) {
                     continue; // already split off with an earlier vi
                 }
@@ -262,11 +257,25 @@ fn is_outgoing(dag: &QueryDag, ops: &BTreeSet<NodeId>, id: NodeId) -> bool {
     dag.node(id).inputs.iter().any(|i| ops.contains(i))
 }
 
+/// Candidate split points of a plan, most profitable first: every member
+/// multiplication except the main, ordered most distant from the main first
+/// (they compound the most replication, §4.2). This is the worklist order
+/// Algorithm 3's exploitation phase uses; the driver's memory-pressure
+/// ladder reuses it to pick which piece to carve off an OOM-ing unit.
+pub fn split_candidates(dag: &QueryDag, plan: &PartialPlan) -> Vec<NodeId> {
+    let Some(vm) = plan.main_matmul(dag) else {
+        return Vec::new();
+    };
+    let mut sp: Vec<NodeId> = plan.matmuls(dag).into_iter().filter(|&v| v != vm).collect();
+    sp.sort_by_key(|&v| std::cmp::Reverse((dag.distance(v, vm).unwrap_or(0), v)));
+    sp
+}
+
 /// Splits `plan` at `vi`: `F_i` takes `vi` and its in-plan descendants
 /// (operators it transitively consumes), `F_m` keeps the rest. Returns
 /// `None` when the split would orphan the main plan (never happens for
 /// non-root `vi`).
-fn split(dag: &QueryDag, plan: &PartialPlan, vi: NodeId) -> Option<(PartialPlan, PartialPlan)> {
+pub fn split(dag: &QueryDag, plan: &PartialPlan, vi: NodeId) -> Option<(PartialPlan, PartialPlan)> {
     if vi == plan.root {
         return None;
     }

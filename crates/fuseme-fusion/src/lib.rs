@@ -23,8 +23,8 @@ pub mod optimizer;
 pub mod plan;
 pub mod space;
 
-pub use cfg::Cfg;
+pub use cfg::{split, split_candidates, Cfg};
 pub use cost::{CostModel, Estimates};
-pub use optimizer::{optimize, optimize_exhaustive, Pqr, SearchStats};
+pub use optimizer::{min_feasible_theta, optimize, optimize_exhaustive, Pqr, SearchStats};
 pub use plan::{ExecUnit, FusionPlan, PartialPlan};
 pub use space::SpaceTree;

@@ -226,6 +226,44 @@ pub fn optimize_bounded(
     result
 }
 
+/// The minimum per-task budget θ_t under which the bounded search admits
+/// some partitioning of `plan`. `MemEst` is monotone non-increasing in `P`
+/// and `Q` (and in `R` within the two-stage regime `r ≥ 2`), so the space's
+/// minimum peak memory lies at `(I, J, min(K, max_r))` or at the
+/// single-stage corner `(I, J, 1)`; the returned θ_t is the smallest whose
+/// [`MEM_SAFETY`]-discounted effective budget still covers that minimum.
+/// Used by the driver's `OomReport` to tell the user how much memory the
+/// failing unit actually needs.
+pub fn min_feasible_theta(
+    dag: &QueryDag,
+    plan: &PartialPlan,
+    tree: &SpaceTree,
+    max_r: usize,
+) -> u64 {
+    let mem = match plan.main_matmul(dag) {
+        Some(main) => {
+            let (i, j, k) = mm_dims(dag, main);
+            let k = k.min(max_r.max(1));
+            let finest = estimate(dag, plan, tree, i, j, k).mem_bytes;
+            // Within r ≥ 2 memory is monotone non-increasing in r, but the
+            // two-stage aggregation term makes r = 1 a separate family
+            // whose minimum (at (I, J, 1)) can undercut the finest point
+            // when the main multiplication's output dominates the inputs.
+            let single = estimate(dag, plan, tree, i, j, 1).mem_bytes;
+            finest.min(single)
+        }
+        None => estimate(dag, plan, tree, 1, 1, 1).mem_bytes,
+    };
+    let mut theta = (mem as f64 / MEM_SAFETY).ceil() as u64;
+    while theta > 0 && (theta.saturating_sub(1) as f64 * MEM_SAFETY) as u64 >= mem {
+        theta -= 1;
+    }
+    while (((theta as f64) * MEM_SAFETY) as u64) < mem {
+        theta += 1;
+    }
+    theta
+}
+
 /// Emits a "cuboid-search" trace event recording the searched space, how
 /// much of it was actually evaluated, and the winning cuboid.
 fn record_search(mode: &'static str, space: u64, result: &OptResult) {
@@ -466,6 +504,25 @@ mod tests {
             loose.pqr
         );
         assert!(tight.est.mem_bytes <= 40_000);
+    }
+
+    #[test]
+    fn min_feasible_theta_is_tight() {
+        let (dag, plan) = nmf(8, 8, 2, 10, 0.2);
+        let tree = SpaceTree::build(&dag, &plan);
+        let theta = min_feasible_theta(&dag, &plan, &tree, usize::MAX);
+        assert!(theta > 0);
+        assert!(
+            optimize(&dag, &plan, &tree, &model(theta)).feasible,
+            "theta {theta} must admit the finest partitioning"
+        );
+        assert!(
+            !optimize(&dag, &plan, &tree, &model(theta - 1)).feasible,
+            "theta - 1 must reject every partitioning"
+        );
+        // Capping R raises the floor (fewer ways to shrink memory).
+        let capped = min_feasible_theta(&dag, &plan, &tree, 1);
+        assert!(capped >= theta);
     }
 
     #[test]

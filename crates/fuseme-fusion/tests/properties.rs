@@ -64,14 +64,43 @@ proptest! {
                 "net must not shrink when ({dp},{dq},{dr}) grows"
             );
             // Memory is monotone non-increasing in P and Q (what the
-            // pruning binary search relies on); R is exempt — moving from
-            // single- to two-stage execution adds the partial-result
-            // footprint.
-            if dr == 0 {
+            // pruning binary search relies on), and in R within the
+            // two-stage regime (r ≥ 2). The single r = 1 → 2 step is
+            // exempt: moving from single- to two-stage execution adds the
+            // partial-result footprint, so memory may grow there.
+            if dr == 0 || r >= 2 {
                 prop_assert!(
                     grown.mem_bytes <= base.mem_bytes + 64, // int-division jitter
                     "mem must not grow when ({dp},{dq},{dr}) grows"
                 );
+            }
+        }
+    }
+
+    /// The global memory minimum over the whole (P, Q, R) space lies at the
+    /// finest grid — either (I, J, K) or, when the two-stage aggregation
+    /// footprint dominates, the single-stage corner (I, J, 1). This is the
+    /// property `min_feasible_theta` relies on to report the smallest
+    /// per-task budget that could have admitted the unit.
+    #[test]
+    fn finest_point_attains_min_memory(
+        i in 2usize..10, j in 2usize..10, k in 1usize..6,
+        density in 0.01f64..1.0,
+    ) {
+        let (dag, plan) = nmf_fixture(i, j, k, density);
+        let tree = SpaceTree::build(&dag, &plan);
+        let finest = estimate(&dag, &plan, &tree, i, j, k).mem_bytes;
+        let single = estimate(&dag, &plan, &tree, i, j, 1).mem_bytes;
+        let floor = finest.min(single);
+        for p in 1..=i {
+            for q in 1..=j {
+                for r in 1..=k {
+                    let m = estimate(&dag, &plan, &tree, p, q, r).mem_bytes;
+                    prop_assert!(
+                        m + 64 >= floor, // int-division jitter
+                        "({p},{q},{r}) undercuts the finest-grid floor: {m} < {floor}"
+                    );
+                }
             }
         }
     }

@@ -117,6 +117,14 @@ pub struct FaultTrace {
     pub executor_losses: u64,
     /// Driver-side unit re-runs after executor loss.
     pub stage_reruns: u64,
+    /// Stages (or fused-unit pre-checks) rejected by memory admission.
+    pub mem_admission_rejects: u64,
+    /// Tightened-budget re-plans attempted by the memory-pressure ladder.
+    pub replans: u64,
+    /// Fused plans split in two by the memory-pressure ladder.
+    pub plan_splits: u64,
+    /// Fused units degraded to unfused per-operator execution.
+    pub unfused_fallbacks: u64,
     /// Bytes charged that a fault-free run would not have charged.
     pub wasted_bytes: u64,
     /// FLOPs executed that a fault-free run would not have executed.
@@ -240,6 +248,24 @@ pub fn summarize(rec: &Recorder) -> TraceSummary {
                 // The abandoned attempt's charges, reported on the re-run
                 // event by the driver (already net of in-stage waste the
                 // stage spans above carry).
+                faults.wasted_bytes += event_attr(ev, keys::WASTED_BYTES);
+                faults.wasted_flops += event_attr(ev, keys::WASTED_FLOPS);
+            }
+            crate::events::MEM_ADMISSION_REJECT => faults.mem_admission_rejects += 1,
+            // Ladder events carry the failed attempt's (net) waste, same
+            // convention as stage re-runs.
+            crate::events::REPLAN => {
+                faults.replans += 1;
+                faults.wasted_bytes += event_attr(ev, keys::WASTED_BYTES);
+                faults.wasted_flops += event_attr(ev, keys::WASTED_FLOPS);
+            }
+            crate::events::PLAN_SPLIT => {
+                faults.plan_splits += 1;
+                faults.wasted_bytes += event_attr(ev, keys::WASTED_BYTES);
+                faults.wasted_flops += event_attr(ev, keys::WASTED_FLOPS);
+            }
+            crate::events::UNFUSED_FALLBACK => {
+                faults.unfused_fallbacks += 1;
                 faults.wasted_bytes += event_attr(ev, keys::WASTED_BYTES);
                 faults.wasted_flops += event_attr(ev, keys::WASTED_FLOPS);
             }
@@ -449,6 +475,13 @@ pub fn summary_table(summary: &TraceSummary) -> String {
             mb(f.wasted_bytes),
             f.wasted_flops as f64
         ));
+        if f.mem_admission_rejects + f.replans + f.plan_splits + f.unfused_fallbacks > 0 {
+            out.push_str(&format!(
+                "memory pressure: {} admission rejects, {} re-plans, \
+                 {} plan splits, {} unfused fallbacks\n",
+                f.mem_admission_rejects, f.replans, f.plan_splits, f.unfused_fallbacks
+            ));
+        }
     }
     out
 }
@@ -645,6 +678,43 @@ mod tests {
         let json = serde_json::to_string(&clean).unwrap();
         let back: TraceSummary = serde_json::from_str(&json).unwrap();
         assert!(back.faults.is_none());
+    }
+
+    #[test]
+    fn summary_aggregates_memory_pressure_events() {
+        let rec = Recorder::new();
+        install(&rec);
+        handle().event(crate::events::MEM_ADMISSION_REJECT, || {
+            vec![(keys::STAGE_ID.to_string(), 0u64.into())]
+        });
+        handle().event(crate::events::REPLAN, || {
+            vec![
+                (keys::ROOT.to_string(), 5u64.into()),
+                (keys::WASTED_BYTES.to_string(), 40u64.into()),
+                (keys::WASTED_FLOPS.to_string(), 10u64.into()),
+            ]
+        });
+        handle().event(crate::events::PLAN_SPLIT, || {
+            vec![(keys::ROOT.to_string(), 5u64.into())]
+        });
+        handle().event(crate::events::UNFUSED_FALLBACK, || {
+            vec![
+                (keys::ROOT.to_string(), 5u64.into()),
+                (keys::WASTED_BYTES.to_string(), 60u64.into()),
+                (keys::WASTED_FLOPS.to_string(), 20u64.into()),
+            ]
+        });
+        uninstall();
+        let s = summarize(&rec);
+        let f = s.faults.unwrap();
+        assert_eq!(f.mem_admission_rejects, 1);
+        assert_eq!(f.replans, 1);
+        assert_eq!(f.plan_splits, 1);
+        assert_eq!(f.unfused_fallbacks, 1);
+        assert_eq!(f.wasted_bytes, 100);
+        assert_eq!(f.wasted_flops, 30);
+        let table = summary_table(&s);
+        assert!(table.contains("memory pressure"), "{table}");
     }
 
     #[test]

@@ -100,6 +100,15 @@ pub mod keys {
     pub const WASTED_FLOPS: &str = "wasted_flops";
     /// Attempts a task consumed (1 = first attempt succeeded).
     pub const ATTEMPTS: &str = "attempts";
+    /// Bounded-search outcome for an exec unit: `"feasible"` or
+    /// `"infeasible-fell-back"` (finest partitioning despite exceeding
+    /// the effective budget).
+    pub const OPT_OUTCOME: &str = "opt_outcome";
+    /// Effective safety factor a memory-pressure re-plan searched under.
+    pub const HEADROOM: &str = "headroom";
+    /// Minimum per-task budget θ_t under which a unit has a feasible
+    /// partitioning.
+    pub const MIN_THETA: &str = "min_theta_bytes";
     /// Winner of a speculative race: `"speculative"` or `"original"`.
     pub const WINNER: &str = "winner";
 }
@@ -117,6 +126,20 @@ pub mod events {
     pub const STAGE_RERUN: &str = "stage-rerun";
     /// A stage's executor died (attrs: stage id).
     pub const EXECUTOR_LOST: &str = "executor-lost";
+    /// Memory admission rejected a stage or fused-unit pre-check (attrs:
+    /// stage id, task id, declared peak memory).
+    pub const MEM_ADMISSION_REJECT: &str = "mem-admission-reject";
+    /// The memory-pressure ladder re-ran the bounded search against a
+    /// tightened budget (attrs: unit root, headroom factor, wasted
+    /// bytes/FLOPs of the failed attempt).
+    pub const REPLAN: &str = "replan";
+    /// The memory-pressure ladder split a fused plan in two (attrs: unit
+    /// root, wasted bytes/FLOPs of the failed attempt).
+    pub const PLAN_SPLIT: &str = "plan-split";
+    /// The memory-pressure ladder degraded a fused unit to unfused
+    /// per-operator execution (attrs: unit root, wasted bytes/FLOPs of
+    /// the failed attempt).
+    pub const UNFUSED_FALLBACK: &str = "unfused-fallback";
 }
 
 /// Identifier of a recorded span; `SpanId::NONE` marks "no parent".

@@ -64,7 +64,9 @@ pub struct StageOutcome<T> {
 ///    executes its kernels, keeping simulations of hopeless configurations
 ///    cheap. An injected executor loss surfaces here as
 ///    [`SimError::ExecutorLost`] *after* charging (the stage's work
-///    happened, then died with its executor);
+///    happened, then died with its executor), and an injected memory skew
+///    whose inflated actual peak breaks θ_t surfaces as a *runtime*
+///    [`SimError::OutOfMemory`] in the same post-charge position;
 /// 5. real execution on a thread pool; outputs are reassembled in task
 ///    order, so downstream code is deterministic.
 pub fn run_stage<'a, T: Send + 'a>(
@@ -89,10 +91,21 @@ pub fn run_stage<'a, T: Send + 'a>(
     // 1. Memory admission.
     for t in &tasks {
         if t.mem_bytes > config.mem_per_task {
+            cluster.fault_ledger().record_mem_admission_reject();
+            obs.event(events::MEM_ADMISSION_REJECT, || {
+                vec![
+                    (keys::STAGE_ID.to_string(), stage_id.into()),
+                    (keys::TASK_ID.to_string(), (t.task_id as u64).into()),
+                    (keys::PEAK_MEM.to_string(), t.mem_bytes.into()),
+                ]
+            });
             return Err(SimError::OutOfMemory {
                 task: t.task_id,
                 needed: t.mem_bytes,
                 budget: config.mem_per_task,
+                root: None,
+                pqr: None,
+                site: crate::OomSite::Admission,
             });
         }
     }
@@ -319,6 +332,31 @@ pub fn run_stage<'a, T: Send + 'a>(
         return Err(SimError::ExecutorLost { stage: stage_id });
     }
 
+    // 4. Runtime memory check: an injected skew inflates a task's actual
+    // peak above its declared estimate; if the inflated peak breaks θ_t
+    // the stage dies *after* its traffic and time were charged — exactly
+    // the failure the admission check cannot catch. The driver's
+    // memory-pressure ladder may recover by re-planning.
+    if let Some(p) = fault_plan {
+        for t in &tasks {
+            let skew = p.mem_skew(stage_id, t.task_id);
+            if skew <= 1.0 {
+                continue;
+            }
+            let actual = (t.mem_bytes as f64 * skew) as u64;
+            if actual > config.mem_per_task {
+                return Err(SimError::OutOfMemory {
+                    task: t.task_id,
+                    needed: actual,
+                    budget: config.mem_per_task,
+                    root: None,
+                    pqr: None,
+                    site: crate::OomSite::Runtime,
+                });
+            }
+        }
+    }
+
     // 5. Real execution.
     let n = tasks.len();
     let workers = std::thread::available_parallelism()
@@ -344,7 +382,9 @@ pub fn run_stage<'a, T: Send + 'a>(
         } else {
             t.job
         };
-        job_tx.send((idx, job)).expect("unbounded send");
+        if job_tx.send((idx, job)).is_err() {
+            return Err(SimError::Task("stage task queue disconnected".into()));
+        }
     }
     drop(job_tx);
 
@@ -377,15 +417,15 @@ pub fn run_stage<'a, T: Send + 'a>(
             }
         }
     })
-    .expect("worker panicked");
+    .map_err(|_| SimError::Task("worker thread panicked".into()))?;
 
     if let Some(e) = first_err {
         return Err(e);
     }
     let outputs = outputs
         .into_iter()
-        .map(|o| o.expect("every task produced output"))
-        .collect();
+        .map(|o| o.ok_or_else(|| SimError::Task("task produced no output".into())))
+        .collect::<Result<Vec<T>, SimError>>()?;
     Ok(StageOutcome { outputs, sim_secs })
 }
 
@@ -633,6 +673,85 @@ mod tests {
         // original is wasted work.
         assert_eq!(spec_bytes, 500);
         assert_eq!(spec_fs.wasted_bytes, 100);
+    }
+
+    #[test]
+    fn admission_reject_is_counted() {
+        let cluster = Cluster::new(ClusterConfig::test_small());
+        let budget = cluster.config().mem_per_task;
+        let err = run_stage(
+            &cluster,
+            Phase::Consolidation,
+            vec![work(0, 5, budget + 1, 0)],
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::OutOfMemory {
+                    site: crate::OomSite::Admission,
+                    root: None,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        assert_eq!(cluster.fault_stats().mem_admission_rejects, 1);
+    }
+
+    #[test]
+    fn mem_skew_surfaces_runtime_oom_after_charges() {
+        let mut cluster = Cluster::new(ClusterConfig::test_small());
+        let budget = cluster.config().mem_per_task;
+        cluster.set_fault_plan(Some(crate::FaultPlan::new(4).with_mem_skew_at(0, 0, 4.0)));
+        // Declared peak passes admission; the 4× actual peak does not.
+        let err = run_stage(
+            &cluster,
+            Phase::Consolidation,
+            vec![work(0, 100, budget / 2, 0)],
+        )
+        .unwrap_err();
+        match err {
+            SimError::OutOfMemory {
+                task,
+                needed,
+                budget: b,
+                site,
+                ..
+            } => {
+                assert_eq!(task, 0);
+                assert_eq!(site, crate::OomSite::Runtime);
+                assert_eq!(needed, budget * 2);
+                assert_eq!(b, budget);
+            }
+            other => panic!("expected runtime OOM, got {other:?}"),
+        }
+        // The stage's traffic was charged before the task blew up.
+        assert_eq!(cluster.comm().total(), 100);
+        assert_eq!(cluster.fault_stats().mem_admission_rejects, 0);
+        // A fresh (re-planned) stage id escapes the targeted skew.
+        let out = run_stage(
+            &cluster,
+            Phase::Consolidation,
+            vec![work(0, 100, budget / 2, 5)],
+        )
+        .unwrap();
+        assert_eq!(out.outputs, vec![5]);
+    }
+
+    #[test]
+    fn mem_skew_within_budget_is_harmless() {
+        let mut cluster = Cluster::new(ClusterConfig::test_small());
+        let budget = cluster.config().mem_per_task;
+        cluster.set_fault_plan(Some(crate::FaultPlan::new(4).with_mem_skew_at(0, 0, 2.0)));
+        // 2× a quarter-budget peak still fits under θ_t.
+        let out = run_stage(
+            &cluster,
+            Phase::Consolidation,
+            vec![work(0, 100, budget / 4, 9)],
+        )
+        .unwrap();
+        assert_eq!(out.outputs, vec![9]);
     }
 
     #[test]

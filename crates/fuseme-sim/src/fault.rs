@@ -16,6 +16,12 @@
 //! charged to the [`crate::CommLedger`] again and extends simulated time,
 //! and the extra traffic is tracked as *wasted work* in a [`FaultLedger`]
 //! so experiments can report the overhead of surviving failures.
+//!
+//! Memory pressure is a fault class of its own: a [`FaultKind::MemSkew`]
+//! spec models estimate error — a task's actual peak exceeding its
+//! declared `MemEst` — producing *runtime* out-of-memory failures that the
+//! driver's memory-pressure recovery ladder (re-plan → split → unfused)
+//! can absorb when [`FaultToleranceConfig::memory_recovery`] is armed.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -39,6 +45,16 @@ pub enum FaultKind {
     /// outputs are consumed; surfaced as [`crate::SimError::ExecutorLost`]
     /// and recovered by a driver-side stage re-run.
     ExecutorLoss,
+    /// The task's *actual* peak memory is `factor`× its declared `MemEst`
+    /// (estimate error on sparse inputs: a denser-than-predicted block, an
+    /// underestimated intermediate). Surfaces as a runtime
+    /// [`crate::SimError::OutOfMemory`] — after the stage's traffic was
+    /// charged — whenever the inflated peak exceeds θ_t; recovered by the
+    /// driver's memory-pressure ladder.
+    MemSkew {
+        /// Multiplier ≥ 1 applied to the task's declared peak memory.
+        factor: f64,
+    },
 }
 
 /// Which tasks a [`FaultSpec`] applies to.
@@ -157,6 +173,23 @@ impl FaultPlan {
         })
     }
 
+    /// Inflates every task's actual peak memory to `factor`× its declared
+    /// estimate, independently with probability `rate`.
+    pub fn with_mem_skew_rate(self, rate: f64, factor: f64) -> Self {
+        self.with(FaultSpec {
+            kind: FaultKind::MemSkew { factor },
+            scope: FaultScope::Rate(rate),
+        })
+    }
+
+    /// Inflates exactly one (stage, task)'s actual peak memory by `factor`×.
+    pub fn with_mem_skew_at(self, stage: u64, task: usize, factor: f64) -> Self {
+        self.with(FaultSpec {
+            kind: FaultKind::MemSkew { factor },
+            scope: FaultScope::Targeted { stage, task },
+        })
+    }
+
     /// The plan's seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -203,6 +236,32 @@ impl FaultPlan {
         worst
     }
 
+    /// The memory-skew multiplier for `(stage, task)` — `1.0` when the
+    /// declared estimate holds; overlapping specs take the worst. Skew is
+    /// per (stage, task), not per attempt: re-running the same work hits
+    /// the same data, so the same skew — only a *re-planned* stage (a
+    /// fresh stage id) escapes a rate-scoped skew, and a targeted skew
+    /// never re-fires on re-planned stages at all.
+    pub fn mem_skew(&self, stage: u64, task: usize) -> f64 {
+        let mut worst = 1.0f64;
+        for (i, s) in self.specs.iter().enumerate() {
+            let FaultKind::MemSkew { factor } = s.kind else {
+                continue;
+            };
+            let hit = match s.scope {
+                FaultScope::Targeted { stage: st, task: t } => st == stage && t == task,
+                // Salt the attempt slot (like stragglers) so skew draws are
+                // independent of crash draws at the same coordinate; the
+                // spec index decorrelates skew from straggler specs.
+                FaultScope::Rate(p) => draw(self.seed, i, stage, task as u64, u64::MAX) < p,
+            };
+            if hit {
+                worst = worst.max(factor.max(1.0));
+            }
+        }
+        worst
+    }
+
     /// Whether `stage`'s executor is lost.
     pub fn executor_loss(&self, stage: u64) -> bool {
         self.specs.iter().enumerate().any(|(i, s)| {
@@ -237,6 +296,20 @@ pub struct FaultToleranceConfig {
     /// Driver-side re-runs of a unit whose executor died. `0` disables
     /// stage re-run, making [`crate::SimError::ExecutorLost`] terminal.
     pub max_stage_reruns: u32,
+    /// Whether the driver's memory-pressure recovery ladder is armed: an
+    /// exec unit that fails memory admission or OOMs mid-flight is
+    /// re-planned under a tightened budget, split, or executed unfused
+    /// before the failure is terminal.
+    pub memory_recovery: bool,
+    /// Effective-budget safety factor for the first recovery re-plan: the
+    /// optimizer searches against `θ_t · mem_headroom` instead of θ_t.
+    pub mem_headroom: f64,
+    /// Multiplier applied to the headroom factor on each subsequent
+    /// re-plan attempt (each rung plans against a yet-tighter budget).
+    pub mem_headroom_decay: f64,
+    /// Tightened-budget re-plans attempted per exec unit before the ladder
+    /// escalates to plan splitting.
+    pub max_replans: u32,
 }
 
 impl Default for FaultToleranceConfig {
@@ -248,14 +321,19 @@ impl Default for FaultToleranceConfig {
             speculation: false,
             speculation_multiple: 1.5,
             max_stage_reruns: 0,
+            memory_recovery: false,
+            mem_headroom: 0.8,
+            mem_headroom_decay: 0.5,
+            max_replans: 2,
         }
     }
 }
 
 impl FaultToleranceConfig {
     /// A Spark-like production posture: 3 retries with 1 s → 60 s capped
-    /// exponential backoff, speculation at 1.5× the wave median, and up to
-    /// 2 stage re-runs on executor loss.
+    /// exponential backoff, speculation at 1.5× the wave median, up to
+    /// 2 stage re-runs on executor loss, and the memory-pressure ladder
+    /// armed (2 re-plans at 0.8× headroom shrinking by half per attempt).
     pub fn resilient() -> Self {
         FaultToleranceConfig {
             max_task_retries: 3,
@@ -264,12 +342,19 @@ impl FaultToleranceConfig {
             speculation: true,
             speculation_multiple: 1.5,
             max_stage_reruns: 2,
+            memory_recovery: true,
+            mem_headroom: 0.8,
+            mem_headroom_decay: 0.5,
+            max_replans: 2,
         }
     }
 
     /// Whether any recovery mechanism is enabled.
     pub fn enabled(&self) -> bool {
-        self.max_task_retries > 0 || self.speculation || self.max_stage_reruns > 0
+        self.max_task_retries > 0
+            || self.speculation
+            || self.max_stage_reruns > 0
+            || self.memory_recovery
     }
 
     /// Backoff before retry number `retry` (1-based): capped exponential.
@@ -293,6 +378,10 @@ pub struct FaultLedger {
     speculative_launches: AtomicU64,
     executor_losses: AtomicU64,
     stage_reruns: AtomicU64,
+    mem_admission_rejects: AtomicU64,
+    replans: AtomicU64,
+    plan_splits: AtomicU64,
+    unfused_fallbacks: AtomicU64,
     wasted_bytes: AtomicU64,
     wasted_flops: AtomicU64,
 }
@@ -308,6 +397,14 @@ pub struct FaultStats {
     pub executor_losses: u64,
     /// Driver-side unit re-runs after executor loss.
     pub stage_reruns: u64,
+    /// Stages (or fused-unit pre-checks) rejected by memory admission.
+    pub mem_admission_rejects: u64,
+    /// Tightened-budget re-plans attempted by the memory-pressure ladder.
+    pub replans: u64,
+    /// Fused plans split in two by the memory-pressure ladder.
+    pub plan_splits: u64,
+    /// Fused units degraded to unfused per-operator execution.
+    pub unfused_fallbacks: u64,
     /// Bytes charged that an oracle run would not have charged.
     pub wasted_bytes: u64,
     /// FLOPs executed that an oracle run would not have executed.
@@ -327,6 +424,10 @@ impl FaultStats {
             speculative_launches: self.speculative_launches - earlier.speculative_launches,
             executor_losses: self.executor_losses - earlier.executor_losses,
             stage_reruns: self.stage_reruns - earlier.stage_reruns,
+            mem_admission_rejects: self.mem_admission_rejects - earlier.mem_admission_rejects,
+            replans: self.replans - earlier.replans,
+            plan_splits: self.plan_splits - earlier.plan_splits,
+            unfused_fallbacks: self.unfused_fallbacks - earlier.unfused_fallbacks,
             wasted_bytes: self.wasted_bytes - earlier.wasted_bytes,
             wasted_flops: self.wasted_flops - earlier.wasted_flops,
         }
@@ -359,6 +460,26 @@ impl FaultLedger {
         self.stage_reruns.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one memory-admission rejection.
+    pub fn record_mem_admission_reject(&self) {
+        self.mem_admission_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one tightened-budget re-plan.
+    pub fn record_replan(&self) {
+        self.replans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one fused-plan split.
+    pub fn record_plan_split(&self) {
+        self.plan_splits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one fused-to-unfused fallback.
+    pub fn record_unfused_fallback(&self) {
+        self.unfused_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Adds wasted bytes and FLOPs.
     pub fn add_wasted(&self, bytes: u64, flops: u64) {
         self.wasted_bytes.fetch_add(bytes, Ordering::Relaxed);
@@ -372,6 +493,10 @@ impl FaultLedger {
             speculative_launches: self.speculative_launches.load(Ordering::Relaxed),
             executor_losses: self.executor_losses.load(Ordering::Relaxed),
             stage_reruns: self.stage_reruns.load(Ordering::Relaxed),
+            mem_admission_rejects: self.mem_admission_rejects.load(Ordering::Relaxed),
+            replans: self.replans.load(Ordering::Relaxed),
+            plan_splits: self.plan_splits.load(Ordering::Relaxed),
+            unfused_fallbacks: self.unfused_fallbacks.load(Ordering::Relaxed),
             wasted_bytes: self.wasted_bytes.load(Ordering::Relaxed),
             wasted_flops: self.wasted_flops.load(Ordering::Relaxed),
         }
@@ -383,6 +508,10 @@ impl FaultLedger {
         self.speculative_launches.store(0, Ordering::Relaxed);
         self.executor_losses.store(0, Ordering::Relaxed);
         self.stage_reruns.store(0, Ordering::Relaxed);
+        self.mem_admission_rejects.store(0, Ordering::Relaxed);
+        self.replans.store(0, Ordering::Relaxed);
+        self.plan_splits.store(0, Ordering::Relaxed);
+        self.unfused_fallbacks.store(0, Ordering::Relaxed);
         self.wasted_bytes.store(0, Ordering::Relaxed);
         self.wasted_flops.store(0, Ordering::Relaxed);
     }
@@ -478,7 +607,49 @@ mod tests {
         assert_eq!(ft.max_task_retries, 0);
         assert_eq!(ft.max_stage_reruns, 0);
         assert!(!ft.speculation);
-        assert!(FaultToleranceConfig::resilient().enabled());
+        assert!(!ft.memory_recovery);
+        let resilient = FaultToleranceConfig::resilient();
+        assert!(resilient.enabled());
+        assert!(resilient.memory_recovery);
+        // Memory recovery alone counts as an enabled mechanism.
+        let mem_only = FaultToleranceConfig {
+            memory_recovery: true,
+            ..FaultToleranceConfig::default()
+        };
+        assert!(mem_only.enabled());
+    }
+
+    #[test]
+    fn mem_skew_targets_and_floors_at_one() {
+        let p = FaultPlan::new(5)
+            .with_mem_skew_at(2, 1, 3.0)
+            .with_mem_skew_at(2, 1, 2.0)
+            .with_mem_skew_at(2, 0, 0.5); // nonsense skew clamps to 1
+        assert_eq!(p.mem_skew(2, 1), 3.0);
+        assert_eq!(p.mem_skew(2, 0), 1.0);
+        assert_eq!(p.mem_skew(1, 1), 1.0);
+        // A fresh (re-planned) stage id escapes the targeted skew.
+        assert_eq!(p.mem_skew(3, 1), 1.0);
+    }
+
+    #[test]
+    fn mem_skew_rate_is_deterministic_and_calibrated() {
+        let p = FaultPlan::new(77).with_mem_skew_rate(0.25, 4.0);
+        let q = FaultPlan::new(77).with_mem_skew_rate(0.25, 4.0);
+        let mut hits = 0;
+        let total = 4000;
+        for task in 0..total {
+            let a = p.mem_skew(0, task);
+            assert_eq!(a, q.mem_skew(0, task), "same seed, same outcome");
+            if a > 1.0 {
+                assert_eq!(a, 4.0);
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / total as f64;
+        assert!((rate - 0.25).abs() < 0.03, "empirical rate {rate}");
+        // Different stage ids redraw, so a re-planned stage can escape.
+        assert!((0..total).any(|t| (p.mem_skew(0, t) > 1.0) != (p.mem_skew(1, t) > 1.0)));
     }
 
     #[test]
@@ -488,6 +659,11 @@ mod tests {
         l.record_speculative_launch();
         l.record_executor_loss();
         l.record_stage_rerun();
+        l.record_mem_admission_reject();
+        l.record_replan();
+        l.record_replan();
+        l.record_plan_split();
+        l.record_unfused_fallback();
         l.add_wasted(100, 2000);
         let s = l.snapshot();
         assert!(s.any());
@@ -495,6 +671,10 @@ mod tests {
         assert_eq!(s.speculative_launches, 1);
         assert_eq!(s.executor_losses, 1);
         assert_eq!(s.stage_reruns, 1);
+        assert_eq!(s.mem_admission_rejects, 1);
+        assert_eq!(s.replans, 2);
+        assert_eq!(s.plan_splits, 1);
+        assert_eq!(s.unfused_fallbacks, 1);
         assert_eq!(s.wasted_bytes, 100);
         assert_eq!(s.wasted_flops, 2000);
         let earlier = FaultStats {
@@ -513,6 +693,10 @@ mod tests {
             speculative_launches: 1,
             executor_losses: 0,
             stage_reruns: 2,
+            mem_admission_rejects: 1,
+            replans: 2,
+            plan_splits: 1,
+            unfused_fallbacks: 1,
             wasted_bytes: 4096,
             wasted_flops: 1 << 20,
         };
