@@ -153,6 +153,27 @@ impl Engine {
         self.cluster.fault_stats()
     }
 
+    /// Arms (or disarms) the cuboid replica cache on the simulated cluster
+    /// with the given byte budget. While armed, fused units whose
+    /// loop-invariant inputs were already partitioned at the chosen
+    /// `(P,Q,R)` skip the consolidation shuffle for those inputs, and the
+    /// plan search weighs cached layouts against the cache-oblivious
+    /// optimum.
+    pub fn set_replica_cache(&mut self, budget_bytes: Option<u64>) {
+        self.cluster.set_replica_cache(budget_bytes);
+    }
+
+    /// Builder form of [`set_replica_cache`](Engine::set_replica_cache).
+    pub fn with_replica_cache(mut self, budget_bytes: u64) -> Self {
+        self.set_replica_cache(Some(budget_bytes));
+        self
+    }
+
+    /// Cumulative replica-cache counters, when the cache is armed.
+    pub fn cache_stats(&self) -> Option<fuseme_sim::CacheStats> {
+        self.cluster.cache_stats()
+    }
+
     /// The engine's kind.
     pub fn kind(&self) -> EngineKind {
         self.kind

@@ -16,6 +16,6 @@ pub use fuseme_obs::{
 };
 pub use fuseme_plan::{Bindings, DagBuilder, QueryDag};
 pub use fuseme_sim::{
-    Cluster, ClusterConfig, CommStats, FaultKind, FaultPlan, FaultScope, FaultSpec, FaultStats,
-    FaultToleranceConfig, SimError,
+    CacheStats, Cluster, ClusterConfig, CommStats, FaultKind, FaultPlan, FaultScope, FaultSpec,
+    FaultStats, FaultToleranceConfig, ReplicaCache, SimError,
 };

@@ -2,7 +2,7 @@
 
 use fuseme_exec::driver::EngineStats;
 use fuseme_obs::TraceSummary;
-use fuseme_sim::{FaultStats, SimError};
+use fuseme_sim::{CacheStats, FaultStats, SimError};
 use serde::{Deserialize, Serialize};
 
 /// How a run ended — mirrors the paper's result classes: a number, an
@@ -75,6 +75,10 @@ pub struct RunSummary {
     /// deserialize — for fault-free runs, so fault-free summaries serialize
     /// identically whether or not fault tolerance was configured.
     pub faults: Option<FaultStats>,
+    /// Replica-cache activity, when the run saw any (hits, misses,
+    /// evictions, invalidations). Absent — and omitted-tolerant on
+    /// deserialize — when the cache is disarmed or idle.
+    pub cache: Option<CacheStats>,
 }
 
 impl RunSummary {
@@ -96,6 +100,7 @@ impl RunSummary {
                 .collect(),
             trace: None,
             faults: stats.faults.any().then_some(stats.faults),
+            cache: stats.cache.filter(CacheStats::any),
         }
     }
 
@@ -119,6 +124,7 @@ impl RunSummary {
             pqr: Vec::new(),
             trace: None,
             faults: None,
+            cache: None,
         }
     }
 
@@ -215,6 +221,7 @@ mod tests {
             pqr: vec![(8, 2, 3, 1)],
             trace: None,
             faults: None,
+            cache: None,
         };
         let json = serde_json::to_string(&s).unwrap();
         let back: RunSummary = serde_json::from_str(&json).unwrap();
@@ -232,6 +239,7 @@ mod tests {
         let back: RunSummary = serde_json::from_str(json).unwrap();
         assert!(back.trace.is_none());
         assert!(back.faults.is_none());
+        assert!(back.cache.is_none());
         assert_eq!(back.comm_total(), 15);
     }
 
@@ -264,6 +272,7 @@ mod tests {
                 single_units: 0,
                 pqr_choices: vec![],
                 faults: Default::default(),
+                cache: None,
             },
         )
         .with_trace(TraceSummary::default());

@@ -2,10 +2,11 @@
 //! evaluation (§6) at a configurable scale.
 //!
 //! ```text
-//! experiments [all|table1|table3|fig12|fig13|fig14|fig15|ablation|chaos|memstress]
+//! experiments [all|table1|table3|fig12|fig13|fig14|fig15|ablation|chaos|memstress|cachesweep]
 //!             [--scale S]    element-dimension divisor (divides 1000; default 250)
 //!             [--iters N]    GNMF iterations for fig14 (default 10)
 //!             [--out DIR]    JSON output directory (default results/)
+//!             [--smoke]      shrink cachesweep to a CI-sized fixture
 //!             [--trace]      record a structured trace of every measured
 //!                            run under DIR/traces/ (chrome trace + summary
 //!                            + predicted-vs-actual report)
@@ -14,7 +15,7 @@
 use std::path::PathBuf;
 
 use fuseme_bench::experiments::{
-    ablation, chaos, fig12, fig13, fig14, fig15, memstress, table1, table3,
+    ablation, cachesweep, chaos, fig12, fig13, fig14, fig15, memstress, table1, table3,
 };
 use fuseme_bench::Scale;
 
@@ -25,10 +26,12 @@ fn main() {
     let mut iters = 10usize;
     let mut out = PathBuf::from("results");
     let mut trace = false;
+    let mut smoke = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--trace" => trace = true,
+            "--smoke" => smoke = true,
             "--scale" => {
                 i += 1;
                 let v: usize = args
@@ -50,8 +53,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [all|table1|table3|fig12|fig13|fig14|fig15|ablation|chaos|memstress]... \
-                     [--scale S] [--iters N] [--out DIR] [--trace]"
+                    "usage: experiments [all|table1|table3|fig12|fig13|fig14|fig15|ablation|chaos|memstress|cachesweep]... \
+                     [--scale S] [--iters N] [--out DIR] [--smoke] [--trace]"
                 );
                 return;
             }
@@ -91,6 +94,7 @@ fn main() {
                 ablation::run(scale, &out);
                 chaos::run(scale, &out);
                 memstress::run(scale, &out);
+                cachesweep::run(scale, &out, smoke);
             }
             "table1" => {
                 table1::run(scale, &out);
@@ -133,6 +137,9 @@ fn main() {
             }
             "memstress" => {
                 memstress::run(scale, &out);
+            }
+            "cachesweep" => {
+                cachesweep::run(scale, &out, smoke);
             }
             other => die(&format!("unknown experiment '{other}'")),
         }

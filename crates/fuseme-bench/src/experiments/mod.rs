@@ -5,6 +5,7 @@
 //! JSON so EXPERIMENTS.md can cite them.
 
 pub mod ablation;
+pub mod cachesweep;
 pub mod chaos;
 pub mod fig12;
 pub mod fig13;

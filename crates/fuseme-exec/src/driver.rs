@@ -17,14 +17,17 @@ use std::sync::Arc;
 
 use fuseme_fusion::cfg::{split, split_candidates};
 use fuseme_fusion::cost::CostModel;
-use fuseme_fusion::optimizer::{min_feasible_theta, optimize_bounded, OptResult, Pqr};
+use fuseme_fusion::optimizer::{
+    min_feasible_theta, optimize_bounded_cached, CachedInput, OptResult, Pqr,
+};
 use fuseme_fusion::plan::{mm_dims, ExecUnit, FusionPlan, PartialPlan};
-use fuseme_fusion::space::SpaceTree;
+use fuseme_fusion::space::{input_axes, SpaceTree};
 use fuseme_matrix::BlockedMatrix;
 use fuseme_obs::{events, keys, SpanGuard, SpanKind};
 use fuseme_plan::{Bindings, NodeId, OpKind, QueryDag};
 use fuseme_sim::{
-    Cluster, CommStats, FaultStats, FaultToleranceConfig, LadderRung, OomReport, SimError,
+    CacheStats, Cluster, CommStats, FaultStats, FaultToleranceConfig, LadderRung, OomReport,
+    SimError,
 };
 
 use crate::fused_op::{execute_fused, supports_k_split, Strategy, ValueMap};
@@ -123,6 +126,9 @@ pub struct EngineStats {
     /// Recovery activity (retries, speculation, re-runs) and wasted work
     /// this run added.
     pub faults: FaultStats,
+    /// Replica-cache activity this run added (`None` when the cluster's
+    /// cache is disarmed).
+    pub cache: Option<CacheStats>,
 }
 
 /// Executes `plan` over `inputs`, returning the root values (in the DAG's
@@ -137,6 +143,7 @@ pub fn execute_plan(
     let comm_before = cluster.comm();
     let sim_before = cluster.elapsed_secs();
     let faults_before = cluster.fault_stats();
+    let cache_before = cluster.cache_stats();
     let wall_start = std::time::Instant::now();
     let mut stats = EngineStats::default();
 
@@ -159,7 +166,8 @@ pub fn execute_plan(
             ExecUnit::Fused(p) => {
                 let span = obs.scope_span(SpanKind::ExecUnit, || format!("unit-{u_idx}"));
                 let unit_sim = cluster.elapsed_secs();
-                let (strategy, opt) = choose_strategy(dag, p, &values, config, &mut stats)?;
+                let (strategy, opt) =
+                    choose_strategy(cluster, dag, p, &values, config, &mut stats)?;
                 annotate_unit(&span, p.root, &strategy, opt.as_ref());
                 let out = run_unit_recovering(
                     cluster,
@@ -181,7 +189,7 @@ pub fn execute_plan(
                 let unit_sim = cluster.elapsed_secs();
                 let singleton = PartialPlan::new([*op].into_iter().collect(), *op);
                 let (strategy, opt) = if dag.node(*op).kind.is_matmul() {
-                    choose_strategy(dag, &singleton, &values, config, &mut stats)?
+                    choose_strategy(cluster, dag, &singleton, &values, config, &mut stats)?
                 } else {
                     (
                         Strategy::Cuboid {
@@ -223,6 +231,9 @@ pub fn execute_plan(
     stats.comm = cluster.comm().since(&comm_before);
     stats.sim_secs = cluster.elapsed_secs() - sim_before;
     stats.faults = cluster.fault_stats().since(&faults_before);
+    stats.cache = cluster
+        .cache_stats()
+        .map(|after| after.since(&cache_before.unwrap_or_default()));
     stats.wall_secs = wall_start.elapsed().as_secs_f64();
     plan_span.set_sim(sim_before, stats.sim_secs);
     Ok((roots, stats))
@@ -390,13 +401,14 @@ fn recover_from_oom(
     // policies have no parameters a search could tighten).
     if matches!(config.matmul, MatmulStrategy::Cfo) && plan.main_matmul(dag).is_some() {
         let tree = SpaceTree::build(dag, plan);
+        let cached = cached_inputs(cluster, dag, &tree, values);
         let mut headroom = ft.mem_headroom;
         for _ in 0..ft.max_replans {
             let tightened = CostModel {
                 mem_per_task: (config.model.mem_per_task as f64 * headroom) as u64,
                 ..config.model
             };
-            let replanned = optimize_bounded(dag, plan, &tree, &tightened, max_r);
+            let replanned = optimize_bounded_cached(dag, plan, &tree, &tightened, max_r, &cached);
             if !replanned.feasible {
                 break; // tightening further cannot help
             }
@@ -503,7 +515,7 @@ fn run_subplans(
 ) -> Result<Arc<BlockedMatrix>, SimError> {
     let mut out = None;
     for sub in plans {
-        let (strategy, _) = choose_strategy(dag, sub, values, config, stats)?;
+        let (strategy, _) = choose_strategy(cluster, dag, sub, values, config, stats)?;
         let o = run_unit(cluster, dag, sub, values, &strategy, config)?;
         values.insert(sub.root, Arc::clone(&o));
         out = Some(o);
@@ -555,9 +567,40 @@ fn record_pqr(stats: &mut EngineStats, root: NodeId, pqr: Pqr) {
     }
 }
 
+/// Collects, for each of a unit's loop-invariant external inputs, the
+/// `(P,Q,R)` layouts whose replica sets are already resident in the
+/// cluster's replica cache. The cache-aware search treats those layouts as
+/// candidate partitionings whose `NetEst` drops the cached inputs' shuffle
+/// term. Empty when the cache is disarmed or cold for this unit.
+fn cached_inputs(
+    cluster: &Cluster,
+    dag: &QueryDag,
+    tree: &SpaceTree,
+    values: &ValueMap,
+) -> Vec<CachedInput> {
+    let Some(cache) = cluster.replica_cache() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (node, axis) in input_axes(tree) {
+        if !matches!(dag.node(node).kind, OpKind::Input { .. }) {
+            continue;
+        }
+        let Some(value) = values.get(&node) else {
+            continue;
+        };
+        let pqrs = cache.replica_pqrs(value.uid(), axis);
+        if !pqrs.is_empty() {
+            out.push(CachedInput { node, pqrs });
+        }
+    }
+    out
+}
+
 /// Picks the physical strategy for one (possibly singleton) fused plan,
 /// returning the optimizer's result when a cost-based search ran.
 fn choose_strategy(
+    cluster: &Cluster,
     dag: &QueryDag,
     plan: &PartialPlan,
     values: &ValueMap,
@@ -580,7 +623,8 @@ fn choose_strategy(
             } else {
                 1
             };
-            let opt = optimize_bounded(dag, plan, &tree, &config.model, max_r);
+            let cached = cached_inputs(cluster, dag, &tree, values);
+            let opt = optimize_bounded_cached(dag, plan, &tree, &config.model, max_r, &cached);
             // On infeasible searches Algorithm 3 falls back to the finest
             // partitioning and lets admission control (or the recovery
             // ladder) report the failure honestly; the outcome is recorded

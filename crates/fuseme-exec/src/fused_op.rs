@@ -247,6 +247,75 @@ pub fn execute_fused(
         stores.push(store);
     }
 
+    // ----- replica cache: skip re-shipping cached loop-invariant inputs -----
+    // Routing above is in-process either way (results are byte-identical
+    // cache-on and cache-off); what the cache changes is the *accounting*:
+    // an input whose cuboid replicas are still resident from a previous
+    // iteration — same matrix value, same model-space axis, same (P,Q,R) —
+    // contributes nothing to the consolidation charge. Only session-bound
+    // `OpKind::Input` leaves participate: intermediates get a fresh matrix
+    // identity every run and would only churn the LRU.
+    let cached_free: BTreeSet<NodeId> = match (cluster.replica_cache(), strategy) {
+        (Some(cache), Strategy::Cuboid { pqr }) => {
+            let axes: HashMap<NodeId, u64> = fuseme_fusion::space::input_axes(&tree)
+                .into_iter()
+                .collect();
+            let evictions_before = cache.stats().evictions;
+            let mut skip = BTreeSet::new();
+            for node in plan.external_inputs(dag) {
+                if !matches!(dag.node(node).kind, OpKind::Input { .. }) {
+                    continue;
+                }
+                let (Some(&axis), Some(value)) = (axes.get(&node), values.get(&node)) else {
+                    continue;
+                };
+                let bytes: u64 = stores.iter().map(|s| s.node_bytes(node)).sum();
+                if bytes == 0 {
+                    continue;
+                }
+                let uid = value.uid();
+                let triple = (pqr.p, pqr.q, pqr.r);
+                let hit = cache.admit(uid, axis, triple, bytes).is_hit();
+                let obs = fuseme_obs::handle();
+                let name = if hit {
+                    skip.insert(node);
+                    fuseme_obs::events::CACHE_HIT
+                } else {
+                    fuseme_obs::events::CACHE_MISS
+                };
+                obs.event(name, || {
+                    vec![
+                        (
+                            fuseme_obs::keys::ROOT.to_string(),
+                            (plan.root as u64).into(),
+                        ),
+                        (fuseme_obs::keys::MATRIX_UID.to_string(), uid.into()),
+                        (fuseme_obs::keys::AXIS.to_string(), axis.into()),
+                        (fuseme_obs::keys::P.to_string(), (pqr.p as u64).into()),
+                        (fuseme_obs::keys::Q.to_string(), (pqr.q as u64).into()),
+                        (fuseme_obs::keys::R.to_string(), (pqr.r as u64).into()),
+                        (
+                            if hit {
+                                fuseme_obs::keys::SAVED_BYTES.to_string()
+                            } else {
+                                fuseme_obs::keys::BYTES.to_string()
+                            },
+                            bytes.into(),
+                        ),
+                    ]
+                });
+            }
+            let evicted = cache.stats().evictions - evictions_before;
+            if evicted > 0 {
+                fuseme_obs::handle().event(fuseme_obs::events::CACHE_EVICT, || {
+                    vec![(fuseme_obs::keys::EVICTIONS.to_string(), evicted.into())]
+                });
+            }
+            skip
+        }
+        _ => BTreeSet::new(),
+    };
+
     // ----- resource estimates ------------------------------------------------
     let ntasks = layout.tasks.len().max(1) as u64;
     let flops_per_task = est.com_flops / ntasks;
@@ -269,13 +338,20 @@ pub fn execute_fused(
     // ----- stage 1 -------------------------------------------------------------
     let mut work: Vec<TaskWork<'_, TaskOut>> = Vec::new();
     for (task, store) in layout.tasks.iter().zip(stores.iter()) {
-        let recv = store.total_bytes();
+        // Replica-cache hits ship nothing: their share of the store arrived
+        // in a previous iteration. Memory is unaffected — the replicas are
+        // resident either way.
+        let free: u64 = cached_free.iter().map(|&n| store.node_bytes(n)).sum();
+        let held = store.total_bytes();
+        let recv = held.saturating_sub(free);
         // Stage-1 tasks of a two-stage run hold their partials but never
         // the final output; single-stage tasks hold their output share.
+        // Memory counts everything *held*, including cached replicas that
+        // shipped in an earlier iteration.
         let mem = if two_stage {
-            recv + partial_share
+            held + partial_share
         } else {
-            recv + out_share
+            held + out_share
         };
         let ops = &plan.ops;
         let out_blocks = task.out_blocks.clone();
@@ -1176,6 +1252,56 @@ mod tests {
         )
         .unwrap();
         assert!(cl_q3.comm().consolidation_bytes > cl_q1.comm().consolidation_bytes);
+    }
+
+    #[test]
+    fn replica_cache_skips_invariant_shuffles() {
+        let f = nmf_fixture(70);
+        let mut cluster = Cluster::new(ClusterConfig::test_small());
+        cluster.set_replica_cache(Some(64 << 20));
+        let model = cost_model(&cluster);
+        let strat = Strategy::Cuboid {
+            pqr: Pqr { p: 2, q: 3, r: 1 },
+        };
+        let run =
+            |cl: &Cluster| execute_fused(cl, &f.dag, &f.plan, &f.values, &strat, &model).unwrap();
+        let out1 = run(&cluster);
+        let after1 = cluster.comm().consolidation_bytes;
+        assert!(after1 > 0);
+        let out2 = run(&cluster);
+        let after2 = cluster.comm().consolidation_bytes;
+        // Same inputs at the same layout: every shuffle is skipped and the
+        // result is unchanged.
+        assert_eq!(after2, after1, "second run must charge no consolidation");
+        assert!(out1.approx_eq(&out2, 0.0));
+        let stats = cluster.cache_stats().unwrap();
+        assert_eq!(stats.misses, 3, "X, U, V admitted on the cold run");
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.saved_bytes, after1);
+        // A different (P,Q,R) is a different replica set: misses again.
+        execute_fused(
+            &cluster,
+            &f.dag,
+            &f.plan,
+            &f.values,
+            &Strategy::Cuboid {
+                pqr: Pqr { p: 3, q: 2, r: 1 },
+            },
+            &model,
+        )
+        .unwrap();
+        let stats = cluster.cache_stats().unwrap();
+        assert_eq!(stats.misses, 6);
+        assert!(cluster.comm().consolidation_bytes > after2);
+        // Invalidation: bumping U's version drops its replica sets at both
+        // layouts and forces exactly one re-shuffle at the original one.
+        let u_uid = f.values.values().map(|m| m.uid()).max().unwrap_or_default();
+        cluster.replica_cache().unwrap().bump_version(u_uid);
+        run(&cluster);
+        let stats = cluster.cache_stats().unwrap();
+        assert_eq!(stats.invalidations, 2);
+        assert_eq!(stats.misses, 7);
+        assert_eq!(stats.hits, 5);
     }
 
     #[test]

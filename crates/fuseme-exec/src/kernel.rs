@@ -58,6 +58,16 @@ impl LocalStore {
         self.blocks.values().map(|b| b.size_bytes()).sum()
     }
 
+    /// Bytes held for one input node (= that input's share of the task's
+    /// consolidation traffic; what a replica-cache hit avoids re-shipping).
+    pub fn node_bytes(&self, node: NodeId) -> u64 {
+        self.blocks
+            .iter()
+            .filter(|((n, _), _)| *n == node)
+            .map(|(_, b)| b.size_bytes())
+            .sum()
+    }
+
     /// Number of blocks held.
     pub fn len(&self) -> usize {
         self.blocks.len()

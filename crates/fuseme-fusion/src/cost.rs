@@ -15,6 +15,8 @@
 //! * **Computation** sums `replication · numOp(v)` over member operators;
 //!   the main multiplication is counted exactly once (Eq. 5's `v_mm` row).
 
+use std::collections::BTreeSet;
+
 use fuseme_matrix::MatrixMeta;
 use fuseme_plan::{NodeId, OpKind, QueryDag};
 use serde::{Deserialize, Serialize};
@@ -79,6 +81,25 @@ pub fn estimate(
     q: usize,
     r: usize,
 ) -> Estimates {
+    estimate_with_cache(dag, plan, tree, p, q, r, &BTreeSet::new())
+}
+
+/// The cache-aware `NetEst` variant: identical to [`estimate`] except that
+/// external inputs in `cached` — inputs whose cuboid replicas are known to
+/// be cluster-resident at exactly this `(p, q, r)` from a previous
+/// iteration — contribute **zero** network bytes (their consolidation
+/// shuffle is skipped at execution). Memory and computation are unchanged:
+/// a cached replica still occupies the same per-task memory and feeds the
+/// same flops.
+pub fn estimate_with_cache(
+    dag: &QueryDag,
+    plan: &PartialPlan,
+    tree: &SpaceTree,
+    p: usize,
+    q: usize,
+    r: usize,
+    cached: &BTreeSet<NodeId>,
+) -> Estimates {
     let mut est = Estimates::default();
     match tree {
         SpaceTree::Flat {
@@ -91,7 +112,9 @@ pub fn estimate(
             for &v in ext_inputs {
                 let sz = size_bytes(dag, v);
                 est.mem_bytes += sz / plan_parallelism(dag, plan) as u64;
-                est.net_bytes += sz;
+                if !cached.contains(&v) {
+                    est.net_bytes += sz;
+                }
             }
             let out_sz = size_bytes(dag, plan.root);
             est.mem_bytes += out_sz / plan_parallelism(dag, plan) as u64;
@@ -129,7 +152,9 @@ pub fn estimate(
                     for &v in ext {
                         let sz = size_bytes(dag, v);
                         mem.set(mem.get() + sz / divisor.max(1));
-                        net.set(net.get() + repl * sz);
+                        if !cached.contains(&v) {
+                            net.set(net.get() + repl * sz);
+                        }
                     }
                     if holds_output {
                         mem.set(mem.get() + size_bytes(dag, plan.root) / divisor.max(1));
@@ -386,6 +411,28 @@ mod tests {
         let es = estimate(&dag_sparse, &plan_s, &ts, 2, 2, 1);
         let ed = estimate(&dag_dense, &plan_d, &td, 2, 2, 1);
         assert!(es.net_bytes < ed.net_bytes);
+    }
+
+    #[test]
+    fn cached_inputs_are_free_on_the_network() {
+        // Caching X's replicas must drop NetEst by exactly R·|X| and leave
+        // memory and computation untouched.
+        let (dag, plan) = nmf(6, 6, 2, 10, 0.4);
+        let tree = SpaceTree::build(&dag, &plan);
+        let x = dag
+            .nodes()
+            .iter()
+            .find(|n| matches!(&n.kind, OpKind::Input { name } if name == "X"))
+            .map(|n| n.id)
+            .unwrap();
+        let (xs, _, _) = sizes(&dag);
+        for (p, q, r) in [(1, 1, 1), (2, 3, 1), (3, 2, 2)] {
+            let plain = estimate(&dag, &plan, &tree, p, q, r);
+            let cached = estimate_with_cache(&dag, &plan, &tree, p, q, r, &BTreeSet::from([x]));
+            assert_eq!(plain.net_bytes - cached.net_bytes, r as u64 * xs);
+            assert_eq!(plain.mem_bytes, cached.mem_bytes);
+            assert_eq!(plain.com_flops, cached.com_flops);
+        }
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub mod plan;
 pub mod space;
 
 pub use cfg::{split, split_candidates, Cfg};
-pub use cost::{CostModel, Estimates};
-pub use optimizer::{min_feasible_theta, optimize, optimize_exhaustive, Pqr, SearchStats};
+pub use cost::{estimate_with_cache, CostModel, Estimates};
+pub use optimizer::{
+    min_feasible_theta, optimize, optimize_bounded_cached, optimize_exhaustive, CachedInput, Pqr,
+    SearchStats,
+};
 pub use plan::{ExecUnit, FusionPlan, PartialPlan};
-pub use space::SpaceTree;
+pub use space::{input_axes, SpaceTree};

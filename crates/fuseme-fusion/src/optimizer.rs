@@ -16,10 +16,12 @@
 //! Both searches return bit-identical results (tested); only the number of
 //! cost evaluations differs.
 
-use fuseme_plan::QueryDag;
+use std::collections::BTreeSet;
+
+use fuseme_plan::{NodeId, QueryDag};
 use serde::{Deserialize, Serialize};
 
-use crate::cost::{estimate, CostModel, Estimates};
+use crate::cost::{estimate, estimate_with_cache, CostModel, Estimates};
 
 /// Fraction of θ_t the searches actually target. Real engines reserve
 /// headroom for serialization buffers and estimate error — SystemDS budgets
@@ -223,6 +225,82 @@ pub fn optimize_bounded(
     }
     let result = finish(best, i, j, k, search.evaluated, start);
     record_search("pruned", (i * j * k) as u64, &result);
+    result
+}
+
+/// A plan input with known cluster-resident cuboid replicas: `node` is the
+/// external input's DAG id, `pqrs` the `(P,Q,R)` layouts at which a replica
+/// set from a previous iteration is still valid (same matrix version, same
+/// model-space axis). Built by the driver from the runtime's replica cache;
+/// the fusion crate deliberately knows nothing about the cache itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedInput {
+    /// External input node of the plan.
+    pub node: NodeId,
+    /// Cuboid layouts with a valid resident replica set.
+    pub pqrs: Vec<(usize, usize, usize)>,
+}
+
+/// Cache-aware variant of [`optimize_bounded`]. Runs the normal pruning
+/// search first (its monotonicity-based pruning is only sound for the
+/// cache-oblivious `NetEst`), then re-evaluates every cached layout — plus
+/// the oblivious optimum itself — with the cache-aware
+/// [`estimate_with_cache`], and returns whichever candidate wins. A cached
+/// layout can beat the oblivious optimum because its loop-invariant inputs
+/// ship zero bytes; it is still subject to the memory budget and the
+/// parallelism floor.
+pub fn optimize_bounded_cached(
+    dag: &QueryDag,
+    plan: &PartialPlan,
+    tree: &SpaceTree,
+    model: &CostModel,
+    max_r: usize,
+    cached: &[CachedInput],
+) -> OptResult {
+    let mut result = optimize_bounded(dag, plan, tree, model, max_r);
+    if cached.is_empty() || !result.feasible {
+        // Cache hits change network bytes only; if no partitioning fits in
+        // memory without the cache, none fits with it.
+        return result;
+    }
+    let Some((i, j, k, required)) = search_dims(dag, plan, model) else {
+        return result;
+    };
+    let k = k.min(max_r.max(1));
+    let start = std::time::Instant::now();
+    let mut candidates: BTreeSet<(usize, usize, usize)> =
+        cached.iter().flat_map(|c| c.pqrs.iter().copied()).collect();
+    candidates.insert((result.pqr.p, result.pqr.q, result.pqr.r));
+    let mut evaluated = 0u64;
+    let mut best: Option<(f64, Pqr, Estimates)> = None;
+    for (p, q, r) in candidates {
+        if p == 0 || q == 0 || r == 0 || p > i || q > j || r > k || p * q * r < required {
+            continue;
+        }
+        let free: BTreeSet<NodeId> = cached
+            .iter()
+            .filter(|c| c.pqrs.contains(&(p, q, r)))
+            .map(|c| c.node)
+            .collect();
+        let est = estimate_with_cache(dag, plan, tree, p, q, r, &free);
+        evaluated += 1;
+        if est.mem_bytes > budget(model) {
+            continue;
+        }
+        let cand = (model.cost(&est), Pqr { p, q, r }, est);
+        if better(&cand, &best) {
+            best = Some(cand);
+        }
+    }
+    result.stats.evaluated += evaluated;
+    result.stats.elapsed_secs += start.elapsed().as_secs_f64();
+    if let Some((cost, pqr, est)) = best {
+        // The oblivious optimum was among the candidates, so `best` is at
+        // least as good as it (under the cache-aware estimate).
+        result.pqr = pqr;
+        result.cost = cost;
+        result.est = est;
+    }
     result
 }
 
@@ -523,6 +601,68 @@ mod tests {
         // Capping R raises the floor (fewer ways to shrink memory).
         let capped = min_feasible_theta(&dag, &plan, &tree, 1);
         assert!(capped >= theta);
+    }
+
+    #[test]
+    fn cached_layout_can_beat_oblivious_optimum() {
+        let (dag, plan) = nmf(8, 8, 2, 10, 0.2);
+        let tree = SpaceTree::build(&dag, &plan);
+        let m = model(10_000_000);
+        let base = optimize(&dag, &plan, &tree, &m);
+        assert!(base.feasible);
+        // Pretend every external input already has replicas resident at
+        // some feasible layout other than the oblivious optimum.
+        let alt = (base.pqr.p, base.pqr.q.max(2), base.pqr.r);
+        let cached: Vec<CachedInput> = dag
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, fuseme_plan::OpKind::Input { .. }))
+            .map(|n| CachedInput {
+                node: n.id,
+                pqrs: vec![alt],
+            })
+            .collect();
+        let aware = optimize_bounded_cached(&dag, &plan, &tree, &m, usize::MAX, &cached);
+        assert!(aware.feasible);
+        // All inputs free at `alt` ⇒ its NetEst collapses to the scalar +
+        // aggregation terms, so the cached layout must win (or tie via the
+        // oblivious optimum also being cached — not the case here).
+        assert_eq!(
+            (aware.pqr.p, aware.pqr.q, aware.pqr.r),
+            alt,
+            "cache-aware search must pick the resident layout"
+        );
+        assert!(aware.cost <= base.cost);
+        assert!(aware.est.net_bytes < base.est.net_bytes);
+    }
+
+    #[test]
+    fn cache_aware_with_no_cached_inputs_is_identity() {
+        let (dag, plan) = nmf(8, 8, 2, 10, 0.2);
+        let tree = SpaceTree::build(&dag, &plan);
+        let m = model(10_000_000);
+        let base = optimize(&dag, &plan, &tree, &m);
+        let aware = optimize_bounded_cached(&dag, &plan, &tree, &m, usize::MAX, &[]);
+        assert_eq!(aware.pqr, base.pqr);
+        assert_eq!(aware.est, base.est);
+    }
+
+    #[test]
+    fn cached_layout_rejected_when_infeasible() {
+        let (dag, plan) = nmf(8, 8, 2, 10, 0.2);
+        let tree = SpaceTree::build(&dag, &plan);
+        let m = model(40_000); // tight: coarse layouts blow the budget
+        let base = optimize(&dag, &plan, &tree, &m);
+        assert!(base.feasible);
+        // A cached replica at the coarsest layout must not tempt the search
+        // into an over-budget (or under-parallel) plan.
+        let cached = [CachedInput {
+            node: dag.nodes()[0].id,
+            pqrs: vec![(1, 1, 1)],
+        }];
+        let aware = optimize_bounded_cached(&dag, &plan, &tree, &m, usize::MAX, &cached);
+        assert_eq!(aware.pqr, base.pqr);
+        assert!(aware.est.mem_bytes <= 40_000);
     }
 
     #[test]

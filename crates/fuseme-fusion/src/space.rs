@@ -153,6 +153,35 @@ impl SpaceTree {
     }
 }
 
+/// Structural axis code of every external input of the tree: the path of
+/// the region holding the input within the model space, independent of the
+/// `(P,Q,R)` values. The root region has code 1; descending into an
+/// [`SpaceTree::Mm`] region's `L`/`R`/`O` subspace maps a code `c` to
+/// `4c+1` / `4c+2` / `4c+3`. Two plans that place an input at the same
+/// structural position (and therefore partition-and-replicate it the same
+/// way at equal `(P,Q,R)`) produce the same code — the property the
+/// iteration-aware replica cache keys on.
+pub fn input_axes(tree: &SpaceTree) -> Vec<(NodeId, u64)> {
+    let mut out = Vec::new();
+    collect_axes(tree, 1, &mut out);
+    out
+}
+
+fn collect_axes(tree: &SpaceTree, code: u64, out: &mut Vec<(NodeId, u64)>) {
+    match tree {
+        SpaceTree::Flat { ext_inputs, .. } => {
+            for &v in ext_inputs {
+                out.push((v, code));
+            }
+        }
+        SpaceTree::Mm { l, r, o, .. } => {
+            collect_axes(l, code * 4 + 1, out);
+            collect_axes(r, code * 4 + 2, out);
+            collect_axes(o, code * 4 + 3, out);
+        }
+    }
+}
+
 /// Recursively decomposes `region` (a subset of the plan's operators) with
 /// output node `root`. `holds_output` marks the region chain that ends at
 /// the plan's materialized output.
@@ -497,6 +526,41 @@ mod tests {
         );
         // Nested regions must see replication > any single factor.
         assert!(max_repl >= 4, "nested replication {max_repl}");
+    }
+
+    #[test]
+    fn input_axes_are_stable_and_distinct() {
+        let (dag, plan) = nmf_query();
+        let tree = SpaceTree::build(&dag, &plan);
+        let axes = input_axes(&tree);
+        // Four external inputs: U (L), V (R), X and eps (O).
+        assert_eq!(axes.len(), 4);
+        let code_of = |name: &str| {
+            let id = dag
+                .nodes()
+                .iter()
+                .find(|n| matches!(&n.kind, fuseme_plan::OpKind::Input { name: nm } if nm == name))
+                .map(|n| n.id)
+                .unwrap();
+            axes.iter()
+                .find(|&&(v, _)| v == id)
+                .map(|&(_, c)| c)
+                .unwrap()
+        };
+        // L/R/O of the root (code 1) are 5, 6, 7.
+        assert_eq!(code_of("U"), 5);
+        assert_eq!(code_of("V"), 6);
+        assert_eq!(code_of("X"), 7);
+        // Rebuilding the same plan yields identical codes.
+        assert_eq!(axes, input_axes(&SpaceTree::build(&dag, &plan)));
+        // A nested tree assigns deeper (distinct) codes.
+        let (ndag, nplan, _) = nested_plan();
+        let ntree = SpaceTree::build(&ndag, &nplan);
+        let ncodes: Vec<u64> = input_axes(&ntree).iter().map(|&(_, c)| c).collect();
+        assert!(
+            ncodes.iter().any(|&c| c > 7),
+            "nested codes go deeper: {ncodes:?}"
+        );
     }
 
     #[test]

@@ -6,6 +6,17 @@ use crate::error::{Error, Result};
 use crate::ops::{AggOp, BinOp, UnaryOp};
 use crate::ELEM_BYTES;
 
+/// Multiply-add count (`rows · k · cols`) above which [`DenseBlock::gemm_acc`]
+/// switches from the naive i-k-j loop to the register-blocked tiled kernel.
+/// Both kernels produce bit-identical results; the threshold only picks the
+/// faster one, avoiding tile bookkeeping overhead on tiny blocks.
+pub const TILED_MIN_MACS: usize = 16 * 1024;
+
+/// Register-tile rows of the tiled GEMM micro-kernel.
+const MR: usize = 4;
+/// Register-tile columns of the tiled GEMM micro-kernel.
+const NR: usize = 4;
+
 /// A dense row-major tile of a blocked matrix.
 ///
 /// `data[r * cols + c]` holds element `(r, c)`. Blocks at matrix boundaries
@@ -165,9 +176,40 @@ impl DenseBlock {
 
     /// Dense GEMM: `out += self * rhs`, accumulating into `out`.
     ///
-    /// Uses the classic i-k-j loop order so the inner loop streams both the
-    /// `rhs` row and the `out` row sequentially.
+    /// Dispatches between two kernels behind one API: the classic i-k-j
+    /// loop for small blocks and a register-blocked tiled kernel
+    /// ([`gemm_acc_tiled`](DenseBlock::gemm_acc_tiled)) once the multiply-add
+    /// count crosses [`TILED_MIN_MACS`]. Both kernels accumulate each output
+    /// element over `k` in ascending order and skip zero left-operands, so
+    /// they agree bit-for-bit — the dispatch threshold never changes
+    /// results.
     pub fn gemm_acc(&self, rhs: &DenseBlock, out: &mut DenseBlock) -> Result<()> {
+        self.gemm_check(rhs, out)?;
+        if self.rows * self.cols * rhs.cols >= TILED_MIN_MACS {
+            self.tiled_kernel(rhs, out);
+        } else {
+            self.naive_kernel(rhs, out);
+        }
+        Ok(())
+    }
+
+    /// The small-block GEMM kernel (i-k-j loop order), exposed so
+    /// differential tests can pin the tiled kernel against it.
+    pub fn gemm_acc_naive(&self, rhs: &DenseBlock, out: &mut DenseBlock) -> Result<()> {
+        self.gemm_check(rhs, out)?;
+        self.naive_kernel(rhs, out);
+        Ok(())
+    }
+
+    /// The register-blocked GEMM kernel, exposed so differential tests can
+    /// exercise it below the dispatch threshold.
+    pub fn gemm_acc_tiled(&self, rhs: &DenseBlock, out: &mut DenseBlock) -> Result<()> {
+        self.gemm_check(rhs, out)?;
+        self.tiled_kernel(rhs, out);
+        Ok(())
+    }
+
+    fn gemm_check(&self, rhs: &DenseBlock, out: &DenseBlock) -> Result<()> {
         if self.cols != rhs.rows {
             return Err(Error::GemmMismatch {
                 left_cols: self.cols,
@@ -181,6 +223,12 @@ impl DenseBlock {
                 op: "gemm output",
             });
         }
+        Ok(())
+    }
+
+    /// i-k-j loop: the inner loop streams both the `rhs` row and the `out`
+    /// row sequentially.
+    fn naive_kernel(&self, rhs: &DenseBlock, out: &mut DenseBlock) {
         let n = rhs.cols;
         for i in 0..self.rows {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
@@ -195,7 +243,50 @@ impl DenseBlock {
                 }
             }
         }
-        Ok(())
+    }
+
+    /// Register-blocked kernel: an `MR × NR` tile of the output is held in
+    /// accumulator registers while the full `k` extent streams through, so
+    /// each loaded `rhs` row segment is reused `MR` times and each output
+    /// element is written once. Per-element accumulation order (ascending
+    /// `k`, zero left-operands skipped) matches the naive kernel exactly.
+    fn tiled_kernel(&self, rhs: &DenseBlock, out: &mut DenseBlock) {
+        let k_dim = self.cols;
+        let n = rhs.cols;
+        let a = &self.data;
+        let b = &rhs.data;
+        let c = &mut out.data;
+        let mut i0 = 0;
+        while i0 < self.rows {
+            let mr = MR.min(self.rows - i0);
+            let mut j0 = 0;
+            while j0 < n {
+                let nr = NR.min(n - j0);
+                let mut acc = [[0.0f64; NR]; MR];
+                for (r, acc_row) in acc.iter_mut().enumerate().take(mr) {
+                    let row = &c[(i0 + r) * n + j0..(i0 + r) * n + j0 + nr];
+                    acc_row[..nr].copy_from_slice(row);
+                }
+                for k in 0..k_dim {
+                    let b_row = &b[k * n + j0..k * n + j0 + nr];
+                    for (r, acc_row) in acc.iter_mut().enumerate().take(mr) {
+                        let av = a[(i0 + r) * k_dim + k];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        for (x, &bv) in b_row.iter().enumerate() {
+                            acc_row[x] += av * bv;
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate().take(mr) {
+                    let row = &mut c[(i0 + r) * n + j0..(i0 + r) * n + j0 + nr];
+                    row.copy_from_slice(&acc_row[..nr]);
+                }
+                j0 += nr;
+            }
+            i0 += mr;
+        }
     }
 
     /// Dense GEMM producing a fresh output block.
@@ -346,6 +437,70 @@ mod tests {
         let a = blk(2, 3, &[0.0; 6]);
         let b = blk(2, 2, &[0.0; 4]);
         assert!(matches!(a.gemm(&b), Err(Error::GemmMismatch { .. })));
+    }
+
+    /// Deterministic pseudo-random fill with a sprinkling of exact zeros,
+    /// so both kernels' zero-skip paths are exercised.
+    fn patterned(rows: usize, cols: usize, salt: u64) -> DenseBlock {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| {
+                let h = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(salt);
+                if h % 7 == 0 {
+                    0.0
+                } else {
+                    ((h >> 32) as f64 / u32::MAX as f64) - 0.5
+                }
+            })
+            .collect();
+        DenseBlock::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn tiled_kernel_is_bit_identical_to_naive() {
+        // 40×40×40 = 64000 MACs ≥ TILED_MIN_MACS, so `gemm_acc` dispatches
+        // to the tiled kernel; the naive kernel must agree bit-for-bit.
+        assert!(40 * 40 * 40 >= TILED_MIN_MACS);
+        let a = patterned(40, 40, 1);
+        let b = patterned(40, 40, 2);
+        let mut tiled = patterned(40, 40, 3);
+        let mut naive = tiled.clone();
+        a.gemm_acc(&b, &mut tiled).unwrap();
+        a.gemm_acc_naive(&b, &mut naive).unwrap();
+        assert_eq!(tiled.data(), naive.data());
+    }
+
+    #[test]
+    fn tiled_kernel_handles_ragged_edges() {
+        // Dimensions that are not multiples of the 4×4 register tile,
+        // including 1-wide edges.
+        for &(m, k, n) in &[(5, 7, 9), (1, 13, 6), (6, 3, 1), (9, 9, 9)] {
+            let a = patterned(m, k, 11);
+            let b = patterned(k, n, 12);
+            let mut tiled = patterned(m, n, 13);
+            let mut naive = tiled.clone();
+            a.gemm_acc_tiled(&b, &mut tiled).unwrap();
+            a.gemm_acc_naive(&b, &mut naive).unwrap();
+            assert_eq!(tiled.data(), naive.data(), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn tiled_kernel_validates_dims() {
+        let a = patterned(4, 3, 1);
+        let b = patterned(4, 4, 2);
+        let mut out = DenseBlock::zeros(4, 4);
+        assert!(matches!(
+            a.gemm_acc_tiled(&b, &mut out),
+            Err(Error::GemmMismatch { .. })
+        ));
+        let b2 = patterned(3, 4, 2);
+        let mut bad_out = DenseBlock::zeros(2, 4);
+        assert!(matches!(
+            a.gemm_acc_tiled(&b2, &mut bad_out),
+            Err(Error::DimMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Logical matrices as grids of shared blocks.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -23,11 +24,36 @@ use crate::sparse::SparseBlock;
 /// implementations*: the distributed engines in `fuseme-exec` must produce
 /// results equal to these (up to float round-off from different summation
 /// orders), which is how the integration tests establish correctness.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct BlockedMatrix {
     meta: MatrixMeta,
     /// Row-major block grid; `None` means an all-zero block.
     blocks: Vec<Option<Arc<Block>>>,
+    /// Process-unique identity, assigned at construction. Sharing an `Arc`
+    /// keeps the uid; cloning or rebuilding assigns a fresh one. The
+    /// simulator's replica cache keys on this to recognise a loop-invariant
+    /// input across iterations.
+    uid: u64,
+}
+
+/// Source of process-unique matrix identities (0 is never issued).
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+fn next_uid() -> u64 {
+    NEXT_UID.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Clone for BlockedMatrix {
+    /// Clones contents but assigns a fresh [`uid`](BlockedMatrix::uid): a
+    /// clone may be mutated independently, so it must not alias its source
+    /// in uid-keyed caches.
+    fn clone(&self) -> Self {
+        BlockedMatrix {
+            meta: self.meta,
+            blocks: self.blocks.clone(),
+            uid: next_uid(),
+        }
+    }
 }
 
 impl BlockedMatrix {
@@ -38,7 +64,14 @@ impl BlockedMatrix {
         Ok(BlockedMatrix {
             meta,
             blocks: vec![None; n],
+            uid: next_uid(),
         })
+    }
+
+    /// Process-unique identity of this matrix value (stable for the lifetime
+    /// of the object; shared by every `Arc` pointing at it).
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Builds a matrix from per-block contents produced by `f(bi, bj)`.
@@ -482,6 +515,21 @@ mod tests {
     fn small(rows: usize, cols: usize, bs: usize) -> BlockedMatrix {
         let data: Vec<f64> = (0..rows * cols).map(|i| (i + 1) as f64).collect();
         BlockedMatrix::from_dense_vec(rows, cols, bs, data).unwrap()
+    }
+
+    #[test]
+    fn uids_are_unique_and_survive_sharing() {
+        let a = small(4, 4, 2);
+        let b = small(4, 4, 2);
+        assert_ne!(a.uid(), b.uid());
+        assert_ne!(a.uid(), 0);
+        // Sharing keeps the identity; cloning mints a new one (a clone can
+        // be mutated independently).
+        let shared = Arc::new(a);
+        assert_eq!(shared.uid(), Arc::clone(&shared).uid());
+        let cloned = (*shared).clone();
+        assert_ne!(cloned.uid(), shared.uid());
+        assert_eq!(cloned.to_dense_vec(), shared.to_dense_vec());
     }
 
     #[test]

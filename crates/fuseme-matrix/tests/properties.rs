@@ -178,3 +178,93 @@ proptest! {
         }
     }
 }
+
+/// Strategy: an `r × c` dense block with the exact-arithmetic value model
+/// (halves), for arbitrary externally chosen dimensions.
+fn dense_with_dims(r: usize, c: usize) -> impl Strategy<Value = DenseBlock> {
+    proptest::collection::vec(-8i32..=8, r * c).prop_map(move |vals| {
+        DenseBlock::from_vec(r, c, vals.into_iter().map(|v| v as f64 / 2.0).collect()).unwrap()
+    })
+}
+
+proptest! {
+    /// The register-blocked GEMM kernel is bit-identical to the naive
+    /// kernel on ragged shapes — dimensions straddling the 4×4 register
+    /// tile, including 1×N row-vector and N×1 column-vector extremes —
+    /// even when accumulating into a non-zero output block.
+    #[test]
+    fn tiled_gemm_bit_identical_to_naive_on_ragged_shapes(
+        (a, b, acc) in (1usize..=19, 1usize..=13, 1usize..=19).prop_flat_map(|(m, k, n)| {
+            (dense_with_dims(m, k), dense_with_dims(k, n), dense_with_dims(m, n))
+        })
+    ) {
+        let mut naive = acc.clone();
+        let mut tiled = acc;
+        a.gemm_acc_naive(&b, &mut naive).unwrap();
+        a.gemm_acc_tiled(&b, &mut tiled).unwrap();
+        // Bit-for-bit: same per-element accumulation order, so not even
+        // an ULP of drift is tolerated.
+        prop_assert_eq!(tiled, naive);
+    }
+
+    /// Outer products (N×1 · 1×N) and inner products (1×N · N×1) hit the
+    /// tile loops' degenerate edges from both sides.
+    #[test]
+    fn tiled_gemm_bit_identical_on_vector_products(
+        (col, row) in (1usize..=33).prop_flat_map(|n| {
+            (dense_with_dims(n, 1), dense_with_dims(1, n))
+        })
+    ) {
+        let n = col.rows();
+        let (mut outer_n, mut outer_t) = (DenseBlock::zeros(n, n), DenseBlock::zeros(n, n));
+        col.gemm_acc_naive(&row, &mut outer_n).unwrap();
+        col.gemm_acc_tiled(&row, &mut outer_t).unwrap();
+        prop_assert_eq!(outer_t, outer_n);
+        let (mut inner_n, mut inner_t) = (DenseBlock::zeros(1, 1), DenseBlock::zeros(1, 1));
+        row.gemm_acc_naive(&col, &mut inner_n).unwrap();
+        row.gemm_acc_tiled(&col, &mut inner_t).unwrap();
+        prop_assert_eq!(inner_t, inner_n);
+    }
+
+    /// The public `gemm_acc` entry point — whichever side of the size
+    /// threshold it dispatches to — always matches the naive reference.
+    #[test]
+    fn gemm_dispatch_never_changes_results(
+        (a, b) in (1usize..=24, 1usize..=24).prop_flat_map(|(m, k)| {
+            (dense_with_dims(m, k), dense_with_dims(k, 24))
+        })
+    ) {
+        let mut via_dispatch = DenseBlock::zeros(a.rows(), b.cols());
+        let mut via_naive = via_dispatch.clone();
+        a.gemm_acc(&b, &mut via_dispatch).unwrap();
+        a.gemm_acc_naive(&b, &mut via_naive).unwrap();
+        prop_assert_eq!(via_dispatch, via_naive);
+    }
+
+    /// Whole-matrix multiplication with mixed block formats: a matrix of
+    /// sparse blocks times dense agrees exactly with the all-dense
+    /// construction of the same values (the sparse and dense kernels share
+    /// the ascending-k accumulation order, and the half-integer value
+    /// model makes every sum exact).
+    #[test]
+    fn sparse_dense_mixed_block_matmul_agrees(
+        entries in proptest::collection::vec((0usize..12, 0usize..9, 1i32..=8), 0..30),
+        bs in 1usize..=5,
+        n in 1usize..=10,
+    ) {
+        let mut seen = std::collections::BTreeSet::new();
+        let triples: Vec<(usize, usize, f64)> = entries
+            .into_iter()
+            .filter(|&(r, c, _)| seen.insert((r, c)))
+            .map(|(r, c, v)| (r, c, v as f64 / 2.0))
+            .collect();
+        let sparse = from_triples(12, 9, bs, &triples).unwrap();
+        let dense = BlockedMatrix::from_dense_vec(12, 9, bs, sparse.to_dense_vec()).unwrap();
+        let rhs = BlockedMatrix::from_dense_vec(
+            9, n, bs, (0..9 * n).map(|i| ((i % 7) as f64) - 3.0).collect(),
+        ).unwrap();
+        let via_sparse = sparse.matmul(&rhs).unwrap();
+        let via_dense = dense.matmul(&rhs).unwrap();
+        prop_assert_eq!(via_sparse.to_dense_vec(), via_dense.to_dense_vec());
+    }
+}

@@ -138,6 +138,31 @@ impl FaultTrace {
     }
 }
 
+/// Replica-cache activity visible in a trace, counted from the executor's
+/// cache point events. `saved_bytes` is the consolidation traffic the hits
+/// avoided; it reconciles with the simulator's `CacheStats::saved_bytes`
+/// when one recording covers the cache's whole lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheTrace {
+    /// Consolidation shuffles skipped because valid replicas were resident.
+    pub hits: u64,
+    /// Consolidation shuffles charged (and the replica set admitted).
+    pub misses: u64,
+    /// Replica sets dropped by the LRU to fit the byte budget.
+    pub evictions: u64,
+    /// Replica sets dropped by a matrix version bump (driver write).
+    pub invalidations: u64,
+    /// Network bytes the hits avoided charging.
+    pub saved_bytes: u64,
+}
+
+impl CacheTrace {
+    /// Whether any cache activity was recorded.
+    pub fn any(&self) -> bool {
+        *self != CacheTrace::default()
+    }
+}
+
 /// Compact per-run summary of a recording.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TraceSummary {
@@ -159,6 +184,10 @@ pub struct TraceSummary {
     /// omitted-tolerant on deserialize — for fault-free recordings, so
     /// pre-fault-tolerance summaries still parse.
     pub faults: Option<FaultTrace>,
+    /// Replica-cache activity, when the recording saw any. Absent — and
+    /// omitted-tolerant on deserialize — for cache-off (or cache-idle)
+    /// recordings, so pre-cache summaries still parse.
+    pub cache: Option<CacheTrace>,
 }
 
 impl TraceSummary {
@@ -240,7 +269,20 @@ pub fn summarize(rec: &Recorder) -> TraceSummary {
             .unwrap_or(0)
     };
     let recorded_events = rec.events();
+    let mut cache = CacheTrace::default();
     for ev in &recorded_events {
+        match ev.name.as_str() {
+            crate::events::CACHE_HIT => {
+                cache.hits += 1;
+                cache.saved_bytes += event_attr(ev, keys::SAVED_BYTES);
+            }
+            crate::events::CACHE_MISS => cache.misses += 1,
+            crate::events::CACHE_EVICT => {
+                cache.evictions += event_attr(ev, keys::EVICTIONS).max(1);
+            }
+            crate::events::CACHE_INVALIDATE => cache.invalidations += 1,
+            _ => {}
+        }
         match ev.name.as_str() {
             crate::events::EXECUTOR_LOST => faults.executor_losses += 1,
             crate::events::STAGE_RERUN => {
@@ -335,6 +377,7 @@ pub fn summarize(rec: &Recorder) -> TraceSummary {
         units,
         events: recorded_events.len(),
         faults: faults.any().then_some(faults),
+        cache: cache.any().then_some(cache),
     }
 }
 
@@ -482,6 +525,17 @@ pub fn summary_table(summary: &TraceSummary) -> String {
                 f.mem_admission_rejects, f.replans, f.plan_splits, f.unfused_fallbacks
             ));
         }
+    }
+    if let Some(c) = &summary.cache {
+        out.push_str(&format!(
+            "replica cache: {} hits, {} misses, {} evictions, \
+             {} invalidations; saved {} MB\n",
+            c.hits,
+            c.misses,
+            c.evictions,
+            c.invalidations,
+            mb(c.saved_bytes)
+        ));
     }
     out
 }
@@ -715,6 +769,47 @@ mod tests {
         assert_eq!(f.wasted_flops, 30);
         let table = summary_table(&s);
         assert!(table.contains("memory pressure"), "{table}");
+    }
+
+    #[test]
+    fn summary_aggregates_cache_activity() {
+        let rec = Recorder::new();
+        install(&rec);
+        handle().event(crate::events::CACHE_HIT, || {
+            vec![
+                (keys::MATRIX_UID.to_string(), 7u64.into()),
+                (keys::SAVED_BYTES.to_string(), 640u64.into()),
+            ]
+        });
+        handle().event(crate::events::CACHE_MISS, || {
+            vec![
+                (keys::MATRIX_UID.to_string(), 7u64.into()),
+                (keys::BYTES.to_string(), 640u64.into()),
+            ]
+        });
+        handle().event(crate::events::CACHE_EVICT, || {
+            vec![(keys::EVICTIONS.to_string(), 3u64.into())]
+        });
+        handle().event(crate::events::CACHE_INVALIDATE, || {
+            vec![(keys::MATRIX_UID.to_string(), 7u64.into())]
+        });
+        uninstall();
+        let s = summarize(&rec);
+        let c = s.cache.unwrap();
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.evictions, 3);
+        assert_eq!(c.invalidations, 1);
+        assert_eq!(c.saved_bytes, 640);
+        let table = summary_table(&s);
+        assert!(table.contains("replica cache"), "{table}");
+        // Cache-idle recordings omit the block, and such summaries
+        // round-trip with `cache` still absent.
+        let clean = summarize(&sample_recorder());
+        assert!(clean.cache.is_none());
+        let json = serde_json::to_string(&clean).unwrap();
+        let back: TraceSummary = serde_json::from_str(&json).unwrap();
+        assert!(back.cache.is_none());
     }
 
     #[test]

@@ -43,8 +43,8 @@ use std::time::Instant;
 use serde::{Content, DeError, Deserialize, Serialize};
 
 pub use export::{
-    chrome_trace_json, predicted_vs_actual, summarize, summary_table, ActualCost, FaultTrace,
-    KindStat, Prediction, TraceSummary, UnitTrace,
+    chrome_trace_json, predicted_vs_actual, summarize, summary_table, ActualCost, CacheTrace,
+    FaultTrace, KindStat, Prediction, TraceSummary, UnitTrace,
 };
 
 /// Well-known attribute keys shared between the instrumentation sites and
@@ -111,6 +111,18 @@ pub mod keys {
     pub const MIN_THETA: &str = "min_theta_bytes";
     /// Winner of a speculative race: `"speculative"` or `"original"`.
     pub const WINNER: &str = "winner";
+    /// Process-unique matrix identity involved in a replica-cache event.
+    pub const MATRIX_UID: &str = "matrix_uid";
+    /// Structural model-space axis code of a cached input.
+    pub const AXIS: &str = "axis";
+    /// Consolidation bytes a replica-cache hit avoided shipping.
+    pub const SAVED_BYTES: &str = "saved_bytes";
+    /// Replica-cache hits observed by a fused unit's consolidation.
+    pub const CACHE_HITS: &str = "cache_hits";
+    /// Replica-cache misses observed by a fused unit's consolidation.
+    pub const CACHE_MISSES: &str = "cache_misses";
+    /// Replica sets evicted by the cache's LRU in one event's window.
+    pub const EVICTIONS: &str = "evictions";
 }
 
 /// Well-known event names emitted by the fault-tolerance layer.
@@ -140,6 +152,20 @@ pub mod events {
     /// per-operator execution (attrs: unit root, wasted bytes/FLOPs of
     /// the failed attempt).
     pub const UNFUSED_FALLBACK: &str = "unfused-fallback";
+    /// A fused unit's input had valid cuboid replicas resident: the
+    /// consolidation shuffle was skipped (attrs: matrix uid, axis, p/q/r,
+    /// saved bytes).
+    pub const CACHE_HIT: &str = "cache-hit";
+    /// A fused unit's input had no valid resident replicas: the shuffle was
+    /// charged and the replica set admitted (attrs: matrix uid, axis,
+    /// p/q/r, bytes).
+    pub const CACHE_MISS: &str = "cache-miss";
+    /// The replica cache evicted entries to fit its byte budget (attrs:
+    /// eviction count delta).
+    pub const CACHE_EVICT: &str = "cache-evict";
+    /// A driver write bumped a matrix version, invalidating its resident
+    /// replicas (attrs: matrix uid).
+    pub const CACHE_INVALIDATE: &str = "cache-invalidate";
 }
 
 /// Identifier of a recorded span; `SpanId::NONE` marks "no parent".

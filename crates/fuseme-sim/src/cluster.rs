@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::fault::{FaultLedger, FaultPlan, FaultStats, FaultToleranceConfig};
 use crate::ledger::{CommLedger, CommStats};
+use crate::replica_cache::{CacheStats, ReplicaCache};
 use crate::time::SimClock;
 
 /// Static description of the simulated cluster.
@@ -115,6 +116,7 @@ pub struct Cluster {
     fault_plan: Option<FaultPlan>,
     fault_tolerance: FaultToleranceConfig,
     faults: FaultLedger,
+    replica_cache: Option<ReplicaCache>,
 }
 
 impl Cluster {
@@ -129,6 +131,7 @@ impl Cluster {
             fault_plan: None,
             fault_tolerance: FaultToleranceConfig::default(),
             faults: FaultLedger::new(),
+            replica_cache: None,
         }
     }
 
@@ -193,13 +196,35 @@ impl Cluster {
         self.faults.snapshot()
     }
 
+    /// Enables the cuboid replica cache with the given byte budget (or
+    /// disables it when `budget_bytes` is `None`). Replaces any existing
+    /// cache, starting cold.
+    pub fn set_replica_cache(&mut self, budget_bytes: Option<u64>) {
+        self.replica_cache = budget_bytes.map(ReplicaCache::new);
+    }
+
+    /// The replica cache, if enabled.
+    pub fn replica_cache(&self) -> Option<&ReplicaCache> {
+        self.replica_cache.as_ref()
+    }
+
+    /// Snapshot of replica-cache activity, if the cache is enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.replica_cache.as_ref().map(ReplicaCache::stats)
+    }
+
     /// Resets ledger, clock, stage-id counter, and fault counters for a
-    /// fresh measurement run. The fault plan and tolerance config persist.
+    /// fresh measurement run. The fault plan and tolerance config persist;
+    /// the replica cache stays enabled but is emptied (a fresh run starts
+    /// cold).
     pub fn reset(&self) {
         self.ledger.reset();
         *self.clock.lock() = SimClock::new();
         self.next_stage.store(0, Ordering::Relaxed);
         self.faults.reset();
+        if let Some(cache) = &self.replica_cache {
+            cache.clear();
+        }
     }
 }
 

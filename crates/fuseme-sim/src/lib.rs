@@ -36,6 +36,7 @@ pub mod executor;
 pub mod fault;
 pub mod ledger;
 pub mod partitioner;
+pub mod replica_cache;
 pub mod shuffle;
 pub mod time;
 
@@ -45,6 +46,7 @@ pub use fault::FaultToleranceConfig;
 pub use fault::{FaultKind, FaultLedger, FaultPlan, FaultScope, FaultSpec, FaultStats};
 pub use ledger::{CommLedger, CommStats, Phase};
 pub use partitioner::Partitioner;
+pub use replica_cache::{CacheOutcome, CacheStats, ReplicaCache, ReplicaKey};
 pub use time::{SimClock, StageSchedule, WaveSlot};
 
 /// Where an out-of-memory failure was detected.

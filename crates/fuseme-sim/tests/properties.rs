@@ -146,3 +146,123 @@ proptest! {
         prop_assert!((fwd - rev).abs() < 1e-12);
     }
 }
+
+/// One step of an arbitrary replica-cache workload.
+#[derive(Debug, Clone, Copy)]
+enum CacheOp {
+    /// Consult/insert a replica set: (matrix, axis, pqr-index, bytes).
+    Admit(u64, u64, u8, u64),
+    /// Version-bump a matrix (a driver write invalidates its replicas).
+    Bump(u64),
+}
+
+fn cache_ops(budget: u64) -> impl Strategy<Value = Vec<CacheOp>> {
+    // 4-in-5 admissions, 1-in-5 version bumps (the vendored proptest has
+    // no `prop_oneof`; a discriminant field plays its part).
+    proptest::collection::vec(
+        (0u8..5, 0u64..4, 0u64..3, 0u8..3, 1..=budget + budget / 4).prop_map(
+            |(kind, m, a, g, b)| {
+                if kind < 4 {
+                    CacheOp::Admit(m, a, g, b)
+                } else {
+                    CacheOp::Bump(m)
+                }
+            },
+        ),
+        1..60,
+    )
+}
+
+/// The three grids an admit step can reference.
+fn grid(i: u8) -> (usize, usize, usize) {
+    [(2, 3, 1), (3, 2, 2), (6, 1, 1)][i as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Under any admit/bump interleaving, the LRU's residency never
+    /// exceeds its byte budget, and the counters reconcile against a
+    /// replay of the returned outcomes: `saved_bytes` is exactly the sum
+    /// of hit bytes — a hit-evict-miss cycle recharges the shuffle
+    /// exactly once, never discounts it twice.
+    #[test]
+    fn replica_cache_budget_and_accounting_laws(ops in cache_ops(10_000)) {
+        use fuseme_sim::ReplicaCache;
+        let budget = 10_000;
+        let cache = ReplicaCache::new(budget);
+        let (mut hits, mut misses, mut saved) = (0u64, 0u64, 0u64);
+        for op in ops {
+            match op {
+                CacheOp::Admit(m, a, g, b) => {
+                    if cache.admit(m, a, grid(g), b).is_hit() {
+                        hits += 1;
+                        saved += b;
+                        // A hit means the replica set really is resident.
+                        prop_assert!(cache.contains(m, a, grid(g)));
+                    } else {
+                        misses += 1;
+                    }
+                }
+                CacheOp::Bump(m) => cache.bump_version(m),
+            }
+            prop_assert!(
+                cache.resident_bytes() <= budget,
+                "LRU exceeded its budget: {} > {budget}",
+                cache.resident_bytes()
+            );
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits, hits);
+        prop_assert_eq!(stats.misses, misses);
+        prop_assert_eq!(stats.saved_bytes, saved);
+        prop_assert_eq!(stats.resident_bytes, cache.resident_bytes());
+    }
+
+    /// A version bump *always* invalidates: whatever happened before, no
+    /// replica of the bumped matrix remains visible on any axis, and the
+    /// next admission of that matrix is a miss.
+    #[test]
+    fn version_bump_always_invalidates(ops in cache_ops(10_000), victim in 0u64..4) {
+        use fuseme_sim::ReplicaCache;
+        let cache = ReplicaCache::new(10_000);
+        for op in ops {
+            match op {
+                CacheOp::Admit(m, a, g, b) => {
+                    cache.admit(m, a, grid(g), b);
+                }
+                CacheOp::Bump(m) => cache.bump_version(m),
+            }
+        }
+        cache.bump_version(victim);
+        for axis in 0..3 {
+            prop_assert!(cache.replica_pqrs(victim, axis).is_empty());
+            for g in 0..3u8 {
+                prop_assert!(!cache.contains(victim, axis, grid(g)));
+            }
+        }
+        prop_assert!(!cache.admit(victim, 0, grid(0), 64).is_hit());
+    }
+
+    /// The hit → evict → miss life cycle, pinned deterministically under a
+    /// randomized filler load: an entry that was hit, then evicted by
+    /// pressure, must miss (and so be re-charged) on its next admission.
+    #[test]
+    fn hit_then_evict_then_miss_recharges_once(filler in 1u64..=9_999) {
+        use fuseme_sim::ReplicaCache;
+        let budget = 10_000;
+        let cache = ReplicaCache::new(budget);
+        let bytes = budget - filler + 1; // guarantees filler forces eviction
+        assert!(cache.admit(7, 0, grid(0), bytes).is_hit() == false);
+        prop_assert!(cache.admit(7, 0, grid(0), bytes).is_hit());
+        // Fill past the budget with a different matrix: victim evicted.
+        cache.admit(8, 0, grid(1), filler);
+        prop_assert!(!cache.contains(7, 0, grid(0)));
+        prop_assert!(cache.stats().evictions >= 1);
+        // The replica set must be shuffled (charged) again exactly once.
+        prop_assert!(!cache.admit(7, 0, grid(0), bytes).is_hit());
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits, 1);
+        prop_assert_eq!(stats.saved_bytes, bytes);
+    }
+}

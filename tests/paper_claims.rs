@@ -278,3 +278,81 @@ fn measured_comm_matches_cost_model() {
 fn bytes_of(binds: &Bindings, name: &str) -> u64 {
     binds[name].actual_size_bytes()
 }
+
+/// Eqs. 3–5, pinned: hand-computed `MemEst`/`NetEst`/`ComEst` constants for
+/// the paper's running query `O = X * log(U × Vᵀ + eps)` at two fixed
+/// `(P,Q,R)` grids. Unlike the formula tests in `fuseme-fusion`, these
+/// assert literal numbers derived on paper, so any drift in size or flop
+/// accounting — not just in the estimate's structure — fails loudly.
+///
+/// Fixture: X sparse 60×60 at density 0.5, U and V dense 60×20, block
+/// edge 10. Derivation:
+///
+/// * |X| = |O| = 1800·12 + 60·8 = 22080 B (CSR-ish: nnz·12 + rows·8;
+///   O = X ⊙ log(...) inherits min-density 0.5 ⇒ same layout),
+/// * |U| = |V| = 1200·8 = 9600 B, |MM| = 3600·8 = 28800 B dense,
+/// * gate = density(O)/density(MM) = 0.5 ⇒ gated |MM| = 14400 B,
+/// * NetEst = R·|X| + Q·|U| + P·|V| + 8·R + (R−1)·gate·|MM|   (Eq. 4)
+/// * MemEst = |U|/(P·R) + |V|/(Q·R) + (|X|+8+|O|)/(P·Q)
+///            [+ gate·|MM|/(P·Q) when R>1], floor division per node (Eq. 3)
+/// * ComEst = P·numOp(Vᵀ) + R·Σ gated O-ops + gate·numOp(MM)    (Eq. 5)
+///   with numOp(Vᵀ) = nnz(V) = 1200; O-ops add/log gated 3600→1800 each,
+///   the ⊙ gate 1800 at ratio 1; numOp(MM) = 2·1200·60 = 144000 ⇒ 72000.
+#[test]
+fn cost_model_matches_hand_computed_goldens() {
+    use fuseme_fusion::cost::{estimate, estimate_with_cache, Estimates};
+    use fuseme_fusion::space::SpaceTree;
+    use std::collections::BTreeSet;
+
+    let mut b = DagBuilder::new();
+    let x = b.input("X", MatrixMeta::sparse(60, 60, 10, 0.5));
+    let u = b.input("U", MatrixMeta::dense(60, 20, 10));
+    let v = b.input("V", MatrixMeta::dense(60, 20, 10));
+    let vt = b.transpose(v);
+    let mm = b.matmul(u, vt);
+    let eps = b.scalar(1e-8);
+    let add = b.binary(mm, eps, BinOp::Add);
+    let lg = b.unary(add, UnaryOp::Log);
+    let out = b.binary(x, lg, BinOp::Mul);
+    let dag = b.finish(vec![out]);
+    let plan = PartialPlan::new(
+        std::collections::BTreeSet::from([vt.id(), mm.id(), add.id(), lg.id(), out.id()]),
+        out.id(),
+    );
+    let tree = SpaceTree::build(&dag, &plan);
+
+    // (P,Q,R) = (2,3,1): no k-axis split, so no aggregation terms.
+    //   Net = 22080 + 3·9600 + 2·9600 + 8            = 70088
+    //   Mem = 9600/2 + 9600/3 + 22080/6 + 8/6 + 22080/6 = 15361
+    //   Com = 2·1200 + 1·(1800+1800+1800) + 72000    = 79800
+    assert_eq!(
+        estimate(&dag, &plan, &tree, 2, 3, 1),
+        Estimates {
+            mem_bytes: 15361,
+            net_bytes: 70088,
+            com_flops: 79800,
+        }
+    );
+
+    // (P,Q,R) = (3,2,2): R=2 adds (R−1)·14400 net and 14400/6 mem for the
+    // k-axis aggregation of the gated main-matmul partials.
+    //   Net = 2·22080 + 2·9600 + 3·9600 + 16 + 14400      = 106576
+    //   Mem = 9600/6 + 9600/4 + 22080/6 + 8/6 + 22080/6 + 14400/6 = 13761
+    //   Com = 3·1200 + 2·(1800+1800+1800) + 72000         = 86400
+    assert_eq!(
+        estimate(&dag, &plan, &tree, 3, 2, 2),
+        Estimates {
+            mem_bytes: 13761,
+            net_bytes: 106576,
+            com_flops: 86400,
+        }
+    );
+
+    // Cache-aware NetEst: with X's replicas resident, its R·|X| shuffle
+    // term vanishes; memory and computation are untouched.
+    let cached = BTreeSet::from([x.id()]);
+    let warm = estimate_with_cache(&dag, &plan, &tree, 2, 3, 1, &cached);
+    assert_eq!(warm.net_bytes, 70088 - 22080);
+    assert_eq!(warm.mem_bytes, 15361);
+    assert_eq!(warm.com_flops, 79800);
+}
