@@ -2,11 +2,11 @@
 //! evaluation (§6) at a configurable scale.
 //!
 //! ```text
-//! experiments [all|table1|table3|fig12|fig13|fig14|fig15|ablation|chaos|memstress|cachesweep]
+//! experiments [all|table1|table3|fig12|fig13|fig14|fig15|ablation|chaos|memstress|cachesweep|sparsesweep]
 //!             [--scale S]    element-dimension divisor (divides 1000; default 250)
 //!             [--iters N]    GNMF iterations for fig14 (default 10)
 //!             [--out DIR]    JSON output directory (default results/)
-//!             [--smoke]      shrink cachesweep to a CI-sized fixture
+//!             [--smoke]      shrink cachesweep/sparsesweep to CI-sized fixtures
 //!             [--trace]      record a structured trace of every measured
 //!                            run under DIR/traces/ (chrome trace + summary
 //!                            + predicted-vs-actual report)
@@ -15,7 +15,7 @@
 use std::path::PathBuf;
 
 use fuseme_bench::experiments::{
-    ablation, cachesweep, chaos, fig12, fig13, fig14, fig15, memstress, table1, table3,
+    ablation, cachesweep, chaos, fig12, fig13, fig14, fig15, memstress, sparsesweep, table1, table3,
 };
 use fuseme_bench::Scale;
 
@@ -53,7 +53,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [all|table1|table3|fig12|fig13|fig14|fig15|ablation|chaos|memstress|cachesweep]... \
+                    "usage: experiments [all|table1|table3|fig12|fig13|fig14|fig15|ablation|chaos|memstress|cachesweep|sparsesweep]... \
                      [--scale S] [--iters N] [--out DIR] [--smoke] [--trace]"
                 );
                 return;
@@ -95,6 +95,7 @@ fn main() {
                 chaos::run(scale, &out);
                 memstress::run(scale, &out);
                 cachesweep::run(scale, &out, smoke);
+                sparsesweep::run(scale, &out, smoke);
             }
             "table1" => {
                 table1::run(scale, &out);
@@ -140,6 +141,9 @@ fn main() {
             }
             "cachesweep" => {
                 cachesweep::run(scale, &out, smoke);
+            }
+            "sparsesweep" => {
+                sparsesweep::run(scale, &out, smoke);
             }
             other => die(&format!("unknown experiment '{other}'")),
         }

@@ -12,5 +12,6 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod memstress;
+pub mod sparsesweep;
 pub mod table1;
 pub mod table3;

@@ -319,7 +319,7 @@ pub fn execute_fused(
     // ----- resource estimates ------------------------------------------------
     let ntasks = layout.tasks.len().max(1) as u64;
     let flops_per_task = est.com_flops / ntasks;
-    let out_share = dag.node(plan.root).meta.size_bytes() / ntasks;
+    let out_share = fuseme_fusion::cost::size_bytes(dag, plan.root) / ntasks;
     let groups = layout.tasks.iter().filter(|t| t.is_reducer).count().max(1) as u64;
     // Stage-1 partials only materialize for output blocks the sparsity gate
     // lets through (the fused kernel skips the rest), so the per-task
@@ -331,7 +331,7 @@ pub fn execute_fused(
         })
         .unwrap_or(1.0);
     let partial_share = main_mm
-        .map(|mm| (dag.node(mm).meta.size_bytes() as f64 * gate) as u64 / groups)
+        .map(|mm| (fuseme_fusion::cost::size_bytes(dag, mm) as f64 * gate) as u64 / groups)
         .unwrap_or(0);
     let _ = model;
 
@@ -641,7 +641,7 @@ fn main_input(dag: &QueryDag, plan: &PartialPlan, values: &ValueMap) -> Option<N
             values
                 .get(id)
                 .map(|m| m.actual_size_bytes())
-                .unwrap_or_else(|| dag.node(*id).meta.size_bytes())
+                .unwrap_or_else(|| fuseme_fusion::cost::size_bytes(dag, *id))
         })
 }
 
@@ -794,8 +794,10 @@ fn assemble(
         for ((bi, bj), block) in blocks {
             match agg_kind {
                 None => {
+                    // Consolidation boundary: re-compact so the next unit's
+                    // shuffled replica bytes reflect the block's actual nnz.
                     result
-                        .set_block(bi, bj, (*block).clone())
+                        .set_block(bi, bj, (*block).clone().compact())
                         .map_err(|e| SimError::Task(e.to_string()))?;
                 }
                 Some((op, _)) => match agg_slots.remove(&(bi, bj)) {
@@ -831,7 +833,7 @@ fn assemble(
         }
         for ((bi, bj), block) in agg_slots {
             result
-                .set_block(bi, bj, (*block).clone())
+                .set_block(bi, bj, (*block).clone().compact())
                 .map_err(|e| SimError::Task(e.to_string()))?;
         }
     }

@@ -215,18 +215,32 @@ impl<'a> KernelCtx<'a> {
                 let (l_id, r_id) = (n.inputs[0], n.inputs[1]);
                 let ks = self.mm_k_range(node);
                 let (rows, cols) = self.block_dims(node, bi, bj);
-                let mut acc = DenseBlock::zeros(rows, cols);
+                // Collect the k-terms with support on both sides (absent
+                // sparse blocks contribute nothing).
+                let mut terms = Vec::new();
                 for k in ks {
-                    // Skip k-terms with no support on either side (absent
-                    // sparse blocks contribute nothing).
                     if !self.has_support(l_id, bi, k) || !self.has_support(r_id, k, bj) {
                         continue;
                     }
-                    let l = self.eval(l_id, bi, k)?;
-                    let r = self.eval(r_id, k, bj)?;
-                    l.gemm_acc(&r, &mut acc)?;
+                    terms.push((self.eval(l_id, bi, k)?, self.eval(r_id, k, bj)?));
                 }
-                Block::Dense(acc).compact()
+                match terms.as_slice() {
+                    [] => Block::zero(rows, cols),
+                    // A single-term product goes through the format-aware
+                    // Gustavson kernel, which can build a sparse output
+                    // directly instead of densifying and re-compacting.
+                    [(l, r)] => l.gemm_auto(r)?,
+                    // Multi-term sums keep the single dense accumulator so
+                    // the summation order (and thus bit pattern) matches
+                    // the reference path exactly.
+                    _ => {
+                        let mut acc = DenseBlock::zeros(rows, cols);
+                        for (l, r) in &terms {
+                            l.gemm_acc(r, &mut acc)?;
+                        }
+                        Block::Dense(acc).compact()
+                    }
+                }
             }
             OpKind::FullAgg(_) | OpKind::RowAgg(_) | OpKind::ColAgg(_) => {
                 return Err(SimError::Task(

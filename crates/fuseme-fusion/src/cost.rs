@@ -197,7 +197,7 @@ pub fn estimate_with_cache(
             // determine R as small as possible"); modeling it explicitly is
             // what produces that tendency.
             if r > 1 {
-                let mm_bytes = (dag.node(main).meta.size_bytes() as f64 * gate) as u64;
+                let mm_bytes = (size_bytes(dag, main) as f64 * gate) as u64;
                 est.net_bytes += (r as u64 - 1) * mm_bytes;
                 est.mem_bytes += mm_bytes / ((p * q).max(1)) as u64;
             }
@@ -213,12 +213,22 @@ fn plan_parallelism(dag: &QueryDag, plan: &PartialPlan) -> usize {
 }
 
 /// `size(v)` of Eqs. 3–4: estimated bytes of a node's (materialized) value.
+///
+/// Matmul nodes are priced with [`MatrixMeta::matmul_out_size_bytes`] — the
+/// format rule the executor's `gemm_auto` kernel applies to the structural
+/// nnz upper bound — rather than with the node's own expected-value density,
+/// so `MemEst`/`NetEst` track the bytes the kernels actually materialize.
 pub fn size_bytes(dag: &QueryDag, v: NodeId) -> u64 {
     let node = dag.node(v);
-    if let OpKind::Scalar(_) = node.kind {
-        return 8;
+    match &node.kind {
+        OpKind::Scalar(_) => 8,
+        OpKind::MatMul => {
+            let l = dag.node(node.inputs[0]).meta;
+            let r = dag.node(node.inputs[1]).meta;
+            l.matmul_out_size_bytes(&r)
+        }
+        _ => node.meta.size_bytes(),
     }
-    node.meta.size_bytes()
 }
 
 /// `numOp(v)` of Eq. 5: floating-point operations to evaluate operator `v`
@@ -433,6 +443,21 @@ mod tests {
             assert_eq!(plain.mem_bytes, cached.mem_bytes);
             assert_eq!(plain.com_flops, cached.com_flops);
         }
+    }
+
+    #[test]
+    fn matmul_nodes_priced_with_executor_nnz_upper_bound() {
+        let mut b = DagBuilder::new();
+        let x = b.input("X", MatrixMeta::sparse(1000, 1000, 100, 0.001));
+        let v = b.input("V", MatrixMeta::sparse(1000, 100, 100, 0.001));
+        let mm = b.matmul(x, v);
+        let dag = b.finish(vec![mm]);
+        let node = dag.node(mm.id());
+        let l = dag.node(node.inputs[0]).meta;
+        let r = dag.node(node.inputs[1]).meta;
+        assert_eq!(size_bytes(&dag, mm.id()), l.matmul_out_size_bytes(&r));
+        // ub = 0.001·0.001·1000 = 0.001 ⇒ priced in CSR, far below dense.
+        assert!(size_bytes(&dag, mm.id()) < 1000 * 100 * 8);
     }
 
     #[test]

@@ -146,19 +146,18 @@ impl Block {
             Block::Dense(b) => Block::Dense(b.zip_scalar(scalar, op)),
             Block::Sparse(b) => {
                 if op.apply(0.0, scalar) == 0.0 {
-                    let mut out = b.clone();
-                    let dense_vals: Vec<f64> =
-                        out.iter().map(|(_, _, v)| op.apply(v, scalar)).collect();
-                    // Rebuild via triples to drop any entries that became zero.
-                    let triples: Vec<_> = out
+                    // Rebuild from the (already sorted) iteration order,
+                    // dropping any entries that became zero.
+                    let triples: Vec<_> = b
                         .iter()
-                        .zip(dense_vals.iter())
-                        .filter(|(_, &v)| v != 0.0)
-                        .map(|((r, c, _), &v)| (r, c, v))
+                        .map(|(r, c, v)| (r, c, op.apply(v, scalar)))
+                        .filter(|&(_, _, v)| v != 0.0)
                         .collect();
-                    out = SparseBlock::from_triples(b.rows(), b.cols(), triples)
-                        .expect("pattern preserved");
-                    Block::Sparse(out)
+                    Block::Sparse(SparseBlock::from_sorted_triples(
+                        b.rows(),
+                        b.cols(),
+                        triples,
+                    ))
                 } else {
                     Block::Dense(b.to_dense().zip_scalar(scalar, op))
                 }
@@ -177,10 +176,11 @@ impl Block {
                         .map(|(r, c, v)| (r, c, op.apply(scalar, v)))
                         .filter(|&(_, _, v)| v != 0.0)
                         .collect();
-                    Block::Sparse(
-                        SparseBlock::from_triples(b.rows(), b.cols(), triples)
-                            .expect("pattern preserved"),
-                    )
+                    Block::Sparse(SparseBlock::from_sorted_triples(
+                        b.rows(),
+                        b.cols(),
+                        triples,
+                    ))
                 } else {
                     Block::Dense(b.to_dense().scalar_zip(scalar, op))
                 }
@@ -202,11 +202,7 @@ impl Block {
             (Block::Dense(a), Block::Dense(b)) => a.gemm_acc(b, out),
             (Block::Sparse(a), Block::Dense(b)) => a.gemm_dense_acc(b, out),
             (Block::Dense(a), Block::Sparse(b)) => b.gemm_from_dense_acc(a, out),
-            (Block::Sparse(a), Block::Sparse(b)) => {
-                // Sparse-sparse products are rare in our workloads; use the
-                // sparse-dense path on a densified right operand.
-                a.gemm_dense_acc(&b.to_dense(), out)
-            }
+            (Block::Sparse(a), Block::Sparse(b)) => a.gemm_sparse_acc(b, out),
         }
     }
 
@@ -221,6 +217,45 @@ impl Block {
         let mut out = DenseBlock::zeros(self.rows(), rhs.cols());
         self.gemm_acc(rhs, &mut out)?;
         Ok(out)
+    }
+
+    /// Structural upper bound on the non-zeros of `self * rhs`. Sparse left
+    /// operands bound per output row via the Gustavson access pattern; a
+    /// dense left operand may fill the whole product.
+    pub fn gemm_nnz_upper_bound(&self, rhs: &Block) -> usize {
+        match (self, rhs) {
+            (Block::Sparse(a), Block::Sparse(b)) => a.gemm_nnz_upper_bound(b),
+            (Block::Sparse(a), Block::Dense(b)) => a.gemm_dense_nnz_upper_bound(b.cols()),
+            (Block::Dense(_), _) => self.rows() * rhs.cols(),
+        }
+    }
+
+    /// Matrix multiplication that picks the output format from the nnz
+    /// upper bound: below the 40% sparse threshold the product is built
+    /// directly in CSR (Gustavson), otherwise densely with a final
+    /// [`Block::compact`]. Because the bound never undershoots the actual
+    /// nnz, the chosen format always agrees with what `compact` would pick
+    /// for a sufficiently sparse result.
+    pub fn gemm_auto(&self, rhs: &Block) -> Result<Block> {
+        if self.cols() != rhs.rows() {
+            return Err(Error::GemmMismatch {
+                left_cols: self.cols(),
+                right_rows: rhs.rows(),
+            });
+        }
+        let elems = self.rows() * rhs.cols();
+        let sparse_out = elems > 0
+            && (self.gemm_nnz_upper_bound(rhs) as f64)
+                < crate::SPARSE_FORMAT_THRESHOLD * elems as f64;
+        match (self, rhs) {
+            (Block::Sparse(a), Block::Sparse(b)) if sparse_out => {
+                Ok(Block::Sparse(a.gemm_sparse(b)?))
+            }
+            (Block::Sparse(a), Block::Dense(b)) if sparse_out => {
+                Ok(Block::Sparse(a.gemm_dense_sparse_out(b)?))
+            }
+            _ => Ok(Block::Dense(self.gemm(rhs)?).compact()),
+        }
     }
 
     /// Full aggregation to a scalar.
@@ -248,8 +283,9 @@ impl Block {
     }
 
     /// Picks the cheaper representation for this content: converts to sparse
-    /// below 40% density, to dense above 66%, mirroring SystemDS's block
-    /// format selection.
+    /// below [`crate::SPARSE_FORMAT_THRESHOLD`], to dense above
+    /// [`crate::DENSE_FORMAT_THRESHOLD`], mirroring SystemDS's block format
+    /// selection.
     pub fn compact(self) -> Block {
         let elems = self.rows() * self.cols();
         if elems == 0 {
@@ -257,8 +293,12 @@ impl Block {
         }
         let density = self.nnz() as f64 / elems as f64;
         match &self {
-            Block::Dense(b) if density < 0.4 => Block::Sparse(SparseBlock::from_dense(b)),
-            Block::Sparse(b) if density > 0.66 => Block::Dense(b.to_dense()),
+            Block::Dense(b) if density < crate::SPARSE_FORMAT_THRESHOLD => {
+                Block::Sparse(SparseBlock::from_dense(b))
+            }
+            Block::Sparse(b) if density > crate::DENSE_FORMAT_THRESHOLD => {
+                Block::Dense(b.to_dense())
+            }
             _ => self,
         }
     }
@@ -349,6 +389,38 @@ mod tests {
                 assert_eq!(a.gemm(b).unwrap(), expected);
             }
         }
+    }
+
+    #[test]
+    fn gemm_auto_picks_sparse_output_and_agrees_with_dense() {
+        // 8x8 sparse operands with two entries each: the ub stays far below
+        // the 40% threshold, so the product must come back sparse.
+        let a = sparse(8, 8, vec![(0, 1, 2.0), (3, 4, -1.5)]);
+        let b = sparse(8, 8, vec![(1, 2, 4.0), (4, 0, 3.0)]);
+        let auto = a.gemm_auto(&b).unwrap();
+        assert!(auto.is_sparse(), "low-ub sparse product must stay sparse");
+        assert_eq!(auto.to_dense(), a.gemm(&b).unwrap());
+
+        // Sparse × dense with only two populated left rows: still sparse.
+        let d = dense(8, 2, &[1.0; 16]);
+        let auto_sd = a.gemm_auto(&d).unwrap();
+        assert!(auto_sd.is_sparse());
+        assert_eq!(auto_sd.to_dense(), a.gemm(&d).unwrap());
+
+        // Dense × dense always lands on the compacted dense path.
+        let full = dense(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let auto_dd = full.gemm_auto(&full).unwrap();
+        assert_eq!(auto_dd.to_dense(), full.gemm(&full).unwrap());
+    }
+
+    #[test]
+    fn gemm_nnz_upper_bound_never_undershoots() {
+        let a = sparse(4, 4, vec![(0, 0, 1.0), (0, 1, 1.0), (2, 3, 1.0)]);
+        let b = sparse(4, 4, vec![(0, 2, 1.0), (1, 2, 1.0), (3, 1, 1.0)]);
+        let product = Block::Dense(a.gemm(&b).unwrap()).compact();
+        assert!(a.gemm_nnz_upper_bound(&b) >= product.nnz());
+        let d = dense(4, 3, &[1.0; 12]);
+        assert!(a.gemm_nnz_upper_bound(&d) >= a.gemm(&d).unwrap().nnz());
     }
 
     #[test]

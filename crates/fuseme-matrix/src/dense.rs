@@ -316,23 +316,35 @@ impl DenseBlock {
         Ok(acc)
     }
 
-    /// Full aggregation to a scalar.
+    /// Full aggregation to a scalar. A degenerate extent aggregates to the
+    /// implicit zero, never the fold identity (±inf for `Min`/`Max`).
     pub fn agg(&self, op: AggOp) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
         op.fold(self.data.iter().copied())
     }
 
-    /// Row-wise aggregation, producing a `rows x 1` block.
+    /// Row-wise aggregation, producing a `rows x 1` block. With zero
+    /// columns every row aggregates to the implicit zero.
     pub fn row_agg(&self, op: AggOp) -> DenseBlock {
         let mut out = DenseBlock::zeros(self.rows, 1);
+        if self.cols == 0 {
+            return out;
+        }
         for r in 0..self.rows {
             out.data[r] = op.fold(self.row(r).iter().copied());
         }
         out
     }
 
-    /// Column-wise aggregation, producing a `1 x cols` block.
+    /// Column-wise aggregation, producing a `1 x cols` block. With zero
+    /// rows every column aggregates to the implicit zero.
     pub fn col_agg(&self, op: AggOp) -> DenseBlock {
         let mut out = DenseBlock::zeros(1, self.cols);
+        if self.rows == 0 {
+            return out;
+        }
         match op {
             AggOp::Sum => {
                 for r in 0..self.rows {

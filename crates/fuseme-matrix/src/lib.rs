@@ -16,6 +16,8 @@
 //! Everything is deterministic: generators take explicit seeds, block grids
 //! iterate in row-major order, and no kernel depends on hash iteration order.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod block;
 pub mod dense;
 pub mod error;
@@ -30,10 +32,19 @@ pub use block::Block;
 pub use dense::DenseBlock;
 pub use error::{Error, Result};
 pub use matrix::BlockedMatrix;
-pub use meta::{BlockGrid, MatrixMeta, Shape};
+pub use meta::{matmul_ub_density, BlockGrid, MatrixMeta, Shape};
 pub use ops::{AggOp, BinOp, UnaryOp};
 pub use sparse::SparseBlock;
 
 /// Number of bytes in one `f64` element; used by every size/communication
 /// estimate in the engine.
 pub const ELEM_BYTES: u64 = 8;
+
+/// Density below which a dense block is converted to CSR by
+/// [`Block::compact`] (SystemDS's sparse-format threshold).
+pub const SPARSE_FORMAT_THRESHOLD: f64 = 0.4;
+
+/// Density above which a sparse block is converted to dense by
+/// [`Block::compact`] and above which [`MatrixMeta::size_bytes`] prices a
+/// matrix densely.
+pub const DENSE_FORMAT_THRESHOLD: f64 = 0.66;

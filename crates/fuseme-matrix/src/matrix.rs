@@ -355,14 +355,28 @@ impl BlockedMatrix {
                 self.meta.block_size, rhs.meta.block_size
             )));
         }
-        let meta = MatrixMeta::dense(
+        let meta = MatrixMeta::sparse(
             self.meta.shape.rows,
             rhs.meta.shape.cols,
             self.meta.block_size,
+            crate::meta::matmul_ub_density(
+                self.meta.density,
+                rhs.meta.density,
+                self.meta.shape.cols,
+            ),
         );
         let k_blocks = self.meta.grid().block_cols;
         let mut out = BlockedMatrix::zeros(meta)?;
         for (bi, bj) in meta.grid().coords() {
+            if k_blocks == 1 {
+                // Single-term product: the format-aware kernel can build a
+                // sparse output directly (Gustavson) with the same
+                // summation order as the dense accumulator.
+                if let (Some(a), Some(b)) = (self.block(bi, 0), rhs.block(0, bj)) {
+                    out.set_block(bi, bj, a.gemm_auto(b)?)?;
+                }
+                continue;
+            }
             let (br, bc) = meta.block_dims(bi, bj);
             let mut acc = DenseBlock::zeros(br, bc);
             let mut any = false;
@@ -376,6 +390,7 @@ impl BlockedMatrix {
                 out.set_block(bi, bj, Block::Dense(acc).compact())?;
             }
         }
+        out.refresh_density();
         Ok(out)
     }
 

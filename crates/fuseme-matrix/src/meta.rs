@@ -9,7 +9,17 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Error, Result};
-use crate::ELEM_BYTES;
+use crate::{DENSE_FORMAT_THRESHOLD, ELEM_BYTES, SPARSE_FORMAT_THRESHOLD};
+
+/// Structural *upper bound* on the density of a matrix product whose
+/// operands have densities `d1`/`d2` and shared dimension `k`: the union
+/// bound `min(1, d1·d2·k)`. This is the density the executor's nnz upper
+/// bound implies at the matrix level — it never undershoots the actual
+/// product density, unlike the expected-value estimate `1 - (1 - d1·d2)^k`
+/// the plan builder uses for sparsity-exploitation gates.
+pub fn matmul_ub_density(d1: f64, d2: f64, k: usize) -> f64 {
+    (d1.clamp(0.0, 1.0) * d2.clamp(0.0, 1.0) * k as f64).min(1.0)
+}
 
 /// Logical (element-level) shape of a matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -180,7 +190,27 @@ impl MatrixMeta {
     /// and estimates switch to dense above ~2/3 density, mirroring
     /// SystemML/SystemDS's format-selection threshold.
     pub fn is_effectively_dense(&self) -> bool {
-        self.density > 0.66
+        self.density > DENSE_FORMAT_THRESHOLD
+    }
+
+    /// Size in bytes the executor's format rule implies for `self * rhs`.
+    ///
+    /// Mirrors [`crate::Block::gemm_auto`]: when the structural density
+    /// upper bound stays below the sparse-format threshold the product is
+    /// stored in CSR, and CSR priced *at the upper bound* never undershoots
+    /// the stored bytes; at or above the threshold the product may be kept
+    /// dense, so the dense size is the worst case. `MemEst`/`NetEst` use
+    /// this so the optimizer prices matmul intermediates with the same rule
+    /// the kernels apply.
+    pub fn matmul_out_size_bytes(&self, rhs: &MatrixMeta) -> u64 {
+        let ub = matmul_ub_density(self.density, rhs.density, self.shape.cols);
+        let out = Shape::new(self.shape.rows, rhs.shape.cols);
+        if ub >= SPARSE_FORMAT_THRESHOLD {
+            out.elements() * ELEM_BYTES
+        } else {
+            let nnz = (out.elements() as f64 * ub).round() as u64;
+            nnz * (ELEM_BYTES + 4) + out.rows as u64 * 8
+        }
     }
 
     /// Metadata of the transposed matrix.
@@ -265,6 +295,29 @@ mod tests {
         let t = m.transposed();
         assert_eq!(t.shape, Shape::new(20, 30));
         assert_eq!(t.density, 0.1);
+    }
+
+    #[test]
+    fn matmul_ub_density_bounds_and_clamps() {
+        assert_eq!(matmul_ub_density(1.0, 1.0, 100), 1.0);
+        assert_eq!(matmul_ub_density(0.01, 0.01, 100), 0.01);
+        // The union bound is never below the expected-value estimate.
+        let (d1, d2, k) = (0.05f64, 0.1f64, 50usize);
+        let expected = 1.0 - (1.0 - d1 * d2).powi(k as i32);
+        assert!(matmul_ub_density(d1, d2, k) >= expected);
+    }
+
+    #[test]
+    fn matmul_out_size_prices_sparse_products_below_dense() {
+        let x = MatrixMeta::sparse(1000, 1000, 100, 0.001);
+        let v = MatrixMeta::sparse(1000, 100, 100, 0.001);
+        let dense_out = 1000u64 * 100 * 8;
+        // ub = 0.001 * 0.001 * 1000 = 0.001 < 0.4 → CSR pricing.
+        assert!(x.matmul_out_size_bytes(&v) < dense_out);
+        // Dense operands price densely (ub saturates at 1).
+        let u = MatrixMeta::dense(1000, 100, 100);
+        let xd = MatrixMeta::dense(1000, 1000, 100);
+        assert_eq!(xd.matmul_out_size_bytes(&u), dense_out);
     }
 
     #[test]

@@ -76,6 +76,36 @@ impl SparseBlock {
         })
     }
 
+    /// Builds a block from triples already sorted row-major with unique,
+    /// in-bounds coordinates — the invariant every CSR iteration upholds —
+    /// skipping the sort and validation of [`SparseBlock::from_triples`].
+    pub(crate) fn from_sorted_triples(
+        rows: usize,
+        cols: usize,
+        triples: Vec<(usize, usize, f64)>,
+    ) -> SparseBlock {
+        debug_assert!(triples.iter().all(|&(r, c, _)| r < rows && c < cols));
+        debug_assert!(triples
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &triples {
+            row_ptr[r + 1] += 1;
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let col_idx = triples.iter().map(|&(_, c, _)| c as u32).collect();
+        let values = triples.into_iter().map(|(_, _, v)| v).collect();
+        SparseBlock {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
     /// Builds a CSR block from raw parts, validating the structure.
     pub fn from_csr(
         rows: usize,
@@ -96,7 +126,7 @@ impl SparseBlock {
                 "col_idx and values length mismatch".into(),
             ));
         }
-        if row_ptr[0] != 0 || *row_ptr.last().unwrap() != values.len() {
+        if row_ptr.first() != Some(&0) || row_ptr.last() != Some(&values.len()) {
             return Err(Error::InvalidSparse("row_ptr endpoints invalid".into()));
         }
         for r in 0..rows {
@@ -194,19 +224,31 @@ impl SparseBlock {
         out
     }
 
-    /// Builds a sparse block from a dense one, dropping zeros.
+    /// Builds a sparse block from a dense one, dropping zeros. The row-major
+    /// scan emits CSR arrays directly.
     pub fn from_dense(dense: &DenseBlock) -> SparseBlock {
-        let mut triples = Vec::new();
-        for r in 0..dense.rows() {
+        let rows = dense.rows();
+        let cols = dense.cols();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..rows {
             for (c, &v) in dense.row(r).iter().enumerate() {
                 if v != 0.0 {
-                    triples.push((r, c, v));
+                    col_idx.push(c as u32);
+                    values.push(v);
                 }
             }
+            row_ptr.push(values.len());
         }
-        // Triples are produced sorted and unique, so this cannot fail.
-        SparseBlock::from_triples(dense.rows(), dense.cols(), triples)
-            .expect("dense scan yields valid triples")
+        SparseBlock {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Applies a zero-preserving unary operation to the stored values.
@@ -375,21 +417,193 @@ impl SparseBlock {
                 op: "dsmm output",
             });
         }
-        for (k, c, b) in self.iter() {
-            for i in 0..lhs.rows() {
-                let add = lhs.get(i, k) * b;
-                if add != 0.0 {
-                    let cur = out.get(i, c);
-                    out.set(i, c, cur + add);
+        let n = self.cols;
+        let out_data = out.data_mut();
+        for i in 0..lhs.rows() {
+            let a_row = lhs.row(i);
+            let out_row = &mut out_data[i * n..(i + 1) * n];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let (cols, vals) = self.row_entries(k);
+                for (&c, &b) in cols.iter().zip(vals) {
+                    out_row[c as usize] += a * b;
                 }
             }
         }
         Ok(())
     }
 
+    /// Row-wise Gustavson SpGEMM: `out += self * rhs`, scattering into the
+    /// dense accumulator. For each stored `(r, k, a)` with `k` ascending,
+    /// every stored `(k, c, b)` of `rhs` contributes `a * b` to `out[r, c]`
+    /// — the same per-row summation order as [`SparseBlock::gemm_dense_acc`]
+    /// restricted to the stored entries of `rhs`.
+    pub fn gemm_sparse_acc(&self, rhs: &SparseBlock, out: &mut DenseBlock) -> Result<()> {
+        if self.cols != rhs.rows {
+            return Err(Error::GemmMismatch {
+                left_cols: self.cols,
+                right_rows: rhs.rows,
+            });
+        }
+        if out.rows() != self.rows || out.cols() != rhs.cols {
+            return Err(Error::DimMismatch {
+                left: (out.rows(), out.cols()),
+                right: (self.rows, rhs.cols),
+                op: "spgemm output",
+            });
+        }
+        let n = rhs.cols;
+        let out_data = out.data_mut();
+        for r in 0..self.rows {
+            let (ks, avals) = self.row_entries(r);
+            let out_row = &mut out_data[r * n..(r + 1) * n];
+            for (&k, &a) in ks.iter().zip(avals) {
+                let (cs, bvals) = rhs.row_entries(k as usize);
+                for (&c, &b) in cs.iter().zip(bvals) {
+                    out_row[c as usize] += a * b;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Row-wise Gustavson SpGEMM with a *sparse* output, built row by row
+    /// through a dense-scatter accumulator (dense scratch row plus a
+    /// touched-column list). Products accumulate in the same order as
+    /// [`SparseBlock::gemm_sparse_acc`]; computed zeros are dropped from
+    /// the output like every other sparse constructor.
+    pub fn gemm_sparse(&self, rhs: &SparseBlock) -> Result<SparseBlock> {
+        if self.cols != rhs.rows {
+            return Err(Error::GemmMismatch {
+                left_cols: self.cols,
+                right_rows: rhs.rows,
+            });
+        }
+        let n = rhs.cols;
+        let mut scratch = vec![0.0f64; n];
+        let mut occupied = vec![false; n];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..self.rows {
+            let (ks, avals) = self.row_entries(r);
+            for (&k, &a) in ks.iter().zip(avals) {
+                let (cs, bvals) = rhs.row_entries(k as usize);
+                for (&c, &b) in cs.iter().zip(bvals) {
+                    let ci = c as usize;
+                    scratch[ci] += a * b;
+                    if !occupied[ci] {
+                        occupied[ci] = true;
+                        touched.push(c);
+                    }
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                let ci = c as usize;
+                if scratch[ci] != 0.0 {
+                    col_idx.push(c);
+                    values.push(scratch[ci]);
+                }
+                scratch[ci] = 0.0;
+                occupied[ci] = false;
+            }
+            touched.clear();
+            row_ptr.push(values.len());
+        }
+        Ok(SparseBlock {
+            rows: self.rows,
+            cols: n,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Sparse×dense GEMM with a sparse output: only rows of `self` with
+    /// stored entries can be non-zero in the product, so each such row is
+    /// accumulated densely (same order as [`SparseBlock::gemm_dense_acc`])
+    /// and then gathered, dropping computed zeros.
+    pub fn gemm_dense_sparse_out(&self, rhs: &DenseBlock) -> Result<SparseBlock> {
+        if self.cols != rhs.rows() {
+            return Err(Error::GemmMismatch {
+                left_cols: self.cols,
+                right_rows: rhs.rows(),
+            });
+        }
+        let n = rhs.cols();
+        let mut scratch = vec![0.0f64; n];
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..self.rows {
+            let (ks, avals) = self.row_entries(r);
+            if !ks.is_empty() {
+                for (&k, &a) in ks.iter().zip(avals) {
+                    let b_row = rhs.row(k as usize);
+                    for (s, &b) in scratch.iter_mut().zip(b_row) {
+                        *s += a * b;
+                    }
+                }
+                for (c, s) in scratch.iter_mut().enumerate() {
+                    if *s != 0.0 {
+                        col_idx.push(c as u32);
+                        values.push(*s);
+                    }
+                    *s = 0.0;
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        Ok(SparseBlock {
+            rows: self.rows,
+            cols: n,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Structural upper bound on `nnz(self * rhs)`: per output row `r`,
+    /// at most `min(rhs.cols, Σ_{k ∈ row r} nnz(rhs row k))` entries can be
+    /// non-zero. Never less than the actual product nnz.
+    pub fn gemm_nnz_upper_bound(&self, rhs: &SparseBlock) -> usize {
+        let mut rhs_row_nnz = vec![0usize; rhs.rows];
+        for (i, n) in rhs_row_nnz.iter_mut().enumerate() {
+            *n = rhs.row_ptr[i + 1] - rhs.row_ptr[i];
+        }
+        let mut total = 0usize;
+        for r in 0..self.rows {
+            let (ks, _) = self.row_entries(r);
+            let row_ub: usize = ks.iter().map(|&k| rhs_row_nnz[k as usize]).sum();
+            total += row_ub.min(rhs.cols);
+        }
+        total
+    }
+
+    /// Structural upper bound on `nnz(self * rhs)` against a dense right
+    /// operand: every row of `self` with at least one stored entry may fill
+    /// its whole output row.
+    pub fn gemm_dense_nnz_upper_bound(&self, rhs_cols: usize) -> usize {
+        (0..self.rows)
+            .filter(|&r| self.row_ptr[r + 1] > self.row_ptr[r])
+            .count()
+            * rhs_cols
+    }
+
     /// Full aggregation to a scalar. For `Sum` only stored values matter;
-    /// for `Min`/`Max` implicit zeros participate when the block is not full.
+    /// for `Min`/`Max` implicit zeros participate when the block is not
+    /// full. A degenerate extent aggregates to the implicit zero, never the
+    /// fold identity (±inf for `Min`/`Max`).
     pub fn agg(&self, op: AggOp) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            return 0.0;
+        }
         let stored = op.fold(self.values.iter().copied());
         if self.nnz() < self.rows * self.cols {
             op.combine(stored, 0.0)
@@ -398,9 +612,13 @@ impl SparseBlock {
         }
     }
 
-    /// Row-wise aggregation producing a dense `rows x 1` block.
+    /// Row-wise aggregation producing a dense `rows x 1` block. With zero
+    /// columns every row aggregates to the implicit zero.
     pub fn row_agg(&self, op: AggOp) -> DenseBlock {
         let mut out = DenseBlock::zeros(self.rows, 1);
+        if self.cols == 0 {
+            return out;
+        }
         for r in 0..self.rows {
             let (_, vals) = self.row_entries(r);
             let stored = op.fold(vals.iter().copied());
@@ -414,9 +632,13 @@ impl SparseBlock {
         out
     }
 
-    /// Column-wise aggregation producing a dense `1 x cols` block.
+    /// Column-wise aggregation producing a dense `1 x cols` block. With
+    /// zero rows every column aggregates to the implicit zero.
     pub fn col_agg(&self, op: AggOp) -> DenseBlock {
         let mut out = DenseBlock::zeros(1, self.cols);
+        if self.rows == 0 {
+            return out;
+        }
         match op {
             AggOp::Sum => {
                 for (_, c, v) in self.iter() {
@@ -604,5 +826,114 @@ mod tests {
     fn full_block_agg_has_no_implicit_zero() {
         let s = SparseBlock::from_triples(1, 2, vec![(0, 0, -1.0), (0, 1, -2.0)]).unwrap();
         assert_eq!(s.agg(AggOp::Max), -1.0);
+    }
+
+    /// Deterministic xorshift64 so the property tests need no RNG crate.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    /// Random block at roughly `density_pct`% fill with values in
+    /// [-7, 8], including occasional *explicit stored zeros*.
+    fn random_sparse(state: &mut u64, rows: usize, cols: usize, density_pct: u64) -> SparseBlock {
+        let mut triples = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if xorshift(state) % 100 < density_pct {
+                    let v = (xorshift(state) % 16) as f64 - 7.0;
+                    triples.push((r, c, v));
+                }
+            }
+        }
+        SparseBlock::from_triples(rows, cols, triples).unwrap()
+    }
+
+    #[test]
+    fn aggregation_matches_dense_on_random_ragged_blocks() {
+        let mut state = 0x5EED_CAFE;
+        let shapes = [(1, 1), (3, 5), (5, 3), (7, 7), (1, 9), (9, 1), (4, 6)];
+        for &(rows, cols) in &shapes {
+            for &pct in &[0u64, 10, 40, 100] {
+                let s = random_sparse(&mut state, rows, cols, pct);
+                let d = s.to_dense();
+                for op in [AggOp::Sum, AggOp::Min, AggOp::Max] {
+                    assert_eq!(s.agg(op), d.agg(op), "{rows}x{cols}@{pct}% {op:?} agg");
+                    assert_eq!(
+                        s.row_agg(op).data(),
+                        d.row_agg(op).data(),
+                        "{rows}x{cols}@{pct}% {op:?} row_agg"
+                    );
+                    assert_eq!(
+                        s.col_agg(op).data(),
+                        d.col_agg(op).data(),
+                        "{rows}x{cols}@{pct}% {op:?} col_agg"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_extents_aggregate_to_implicit_zero() {
+        for (rows, cols) in [(0usize, 3usize), (3, 0), (0, 0)] {
+            let s = SparseBlock::empty(rows, cols);
+            let d = s.to_dense();
+            for op in [AggOp::Sum, AggOp::Min, AggOp::Max] {
+                assert_eq!(s.agg(op), 0.0, "sparse {rows}x{cols} {op:?}");
+                assert_eq!(d.agg(op), 0.0, "dense {rows}x{cols} {op:?}");
+                for out in [s.row_agg(op), s.col_agg(op), d.row_agg(op), d.col_agg(op)] {
+                    assert!(
+                        out.data().iter().all(|&v| v == 0.0),
+                        "{rows}x{cols} {op:?}: axis agg leaked a fold identity"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gustavson_spgemm_matches_dense_reference() {
+        let mut state = 0xFEED_5EED;
+        for _ in 0..20 {
+            let a = random_sparse(&mut state, 6, 5, 35);
+            let b = random_sparse(&mut state, 5, 7, 35);
+            let reference = a.to_dense().gemm(&b.to_dense()).unwrap();
+            let mut acc = DenseBlock::zeros(6, 7);
+            a.gemm_sparse_acc(&b, &mut acc).unwrap();
+            assert_eq!(acc, reference);
+            let sp = a.gemm_sparse(&b).unwrap();
+            assert_eq!(sp.to_dense(), reference);
+            assert!(sp.nnz() <= a.gemm_nnz_upper_bound(&b));
+        }
+    }
+
+    #[test]
+    fn sparse_dense_sparse_out_matches_dense_reference() {
+        let mut state = 0xBEEF_0001;
+        for _ in 0..20 {
+            let a = random_sparse(&mut state, 6, 5, 30);
+            let b = random_sparse(&mut state, 5, 7, 80).to_dense();
+            let reference = a.to_dense().gemm(&b).unwrap();
+            let sp = a.gemm_dense_sparse_out(&b).unwrap();
+            assert_eq!(sp.to_dense(), reference);
+            assert!(sp.nnz() <= a.gemm_dense_nnz_upper_bound(b.cols()));
+        }
+    }
+
+    #[test]
+    fn dsmm_bit_identical_on_random_blocks() {
+        let mut state = 0xABCD_EF01;
+        for _ in 0..20 {
+            let s = random_sparse(&mut state, 5, 6, 40);
+            let lhs = random_sparse(&mut state, 4, 5, 70).to_dense();
+            let mut out = DenseBlock::zeros(4, 6);
+            s.gemm_from_dense_acc(&lhs, &mut out).unwrap();
+            assert_eq!(out, lhs.gemm(&s.to_dense()).unwrap());
+        }
     }
 }

@@ -390,7 +390,11 @@ pub fn run_stage<'a, T: Send + 'a>(
 
     let mut outputs: Vec<Option<T>> = Vec::with_capacity(n);
     outputs.resize_with(n, || None);
-    let mut first_err: Option<SimError> = None;
+    // Keyed by task index, not arrival order: with several failing tasks,
+    // worker scheduling must not leak into which error the stage reports —
+    // repeated runs with an identical seeded fault plan surface the same
+    // failure summary byte for byte.
+    let mut first_err: Option<(usize, SimError)> = None;
     crossbeam::thread::scope(|s| {
         let (res_tx, res_rx) = channel::unbounded();
         for _ in 0..workers {
@@ -410,8 +414,8 @@ pub fn run_stage<'a, T: Send + 'a>(
             match result {
                 Ok(v) => outputs[idx] = Some(v),
                 Err(e) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
+                    if first_err.as_ref().is_none_or(|(i, _)| idx < *i) {
+                        first_err = Some((idx, e));
                     }
                 }
             }
@@ -419,7 +423,7 @@ pub fn run_stage<'a, T: Send + 'a>(
     })
     .map_err(|_| SimError::Task("worker thread panicked".into()))?;
 
-    if let Some(e) = first_err {
+    if let Some((_, e)) = first_err {
         return Err(e);
     }
     let outputs = outputs
@@ -492,6 +496,46 @@ mod tests {
         let cluster = Cluster::new(cfg);
         let err = run_stage(&cluster, Phase::Consolidation, vec![work(0, 1000, 1, 0)]).unwrap_err();
         assert!(matches!(err, SimError::Timeout { .. }));
+    }
+
+    #[test]
+    fn two_failure_stage_reports_lowest_task_deterministically() {
+        // Two failing tasks with distinct messages; the lower-index failure
+        // sleeps so its error *arrives* last. Whatever the worker
+        // scheduling, every run must surface the same (lowest-index)
+        // failure summary, byte for byte.
+        let run_once = || {
+            let cluster = Cluster::new(ClusterConfig::test_small());
+            let tasks: Vec<TaskWork<'static, i32>> = (0..8)
+                .map(|i| TaskWork {
+                    task_id: i,
+                    recv_bytes: 1,
+                    mem_bytes: 1,
+                    flops: 0,
+                    job: Box::new(move || match i {
+                        1 => {
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Err(SimError::Task("task 1 exploded".into()))
+                        }
+                        6 => Err(SimError::Task("task 6 exploded".into())),
+                        _ => Ok(i as i32),
+                    }),
+                })
+                .collect();
+            let err = run_stage(&cluster, Phase::Consolidation, tasks).unwrap_err();
+            format!("{err:?}")
+        };
+        let summaries: std::collections::BTreeSet<String> = (0..6).map(|_| run_once()).collect();
+        assert_eq!(
+            summaries.len(),
+            1,
+            "failure summary varies across runs: {summaries:?}"
+        );
+        let summary = summaries.into_iter().next().unwrap();
+        assert!(
+            summary.contains("task 1"),
+            "must report the lowest task index's error, got {summary}"
+        );
     }
 
     #[test]

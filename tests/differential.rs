@@ -42,6 +42,23 @@ fn gnmf() -> Gnmf {
     }
 }
 
+/// Densifies every binding: same values block by block, dense blocks
+/// everywhere, and metadata declaring full density — so both the planner
+/// and the kernels are forced down the dense path.
+fn densify_bindings(binds: &Bindings) -> Bindings {
+    binds
+        .iter()
+        .map(|(name, m)| {
+            let meta = MatrixMeta::dense(m.shape().rows, m.shape().cols, m.meta().block_size);
+            let dense = BlockedMatrix::from_fn(meta, |bi, bj| {
+                Some(Block::Dense(m.block_or_zero(bi, bj).to_dense()))
+            })
+            .expect("densify preserves geometry");
+            (name.clone(), Arc::new(dense))
+        })
+        .collect()
+}
+
 /// Asserts two output sets agree element-wise within `tol`.
 fn assert_outputs_close(name: &str, a: &[Arc<BlockedMatrix>], b: &[Arc<BlockedMatrix>], tol: f64) {
     assert_eq!(a.len(), b.len(), "{name}: output arity differs");
@@ -149,11 +166,131 @@ fn fused_and_unfused_agree_on_every_workload() {
     assert!(fused_units_seen > 0, "no case exercised a fused unit");
 }
 
+/// The sparse execution path — CSR inputs kept sparse through Gustavson
+/// SpGEMM, sparse-output kernels, and re-compaction at the consolidation
+/// boundary — must be element-wise equal to the forced-dense path on every
+/// workload script, at densities low enough that the sparse kernels
+/// actually engage. On the workloads whose rating matrix *is* sparse, the
+/// sparse path must also move strictly fewer shuffled bytes.
+#[test]
+fn sparse_path_matches_forced_dense_path_on_every_workload() {
+    // (name, script, bindings, expect_savings) — densities at 0.05 so the
+    // nnz upper bound drops below the sparse-output threshold.
+    let mut cases: Vec<(String, String, Bindings, bool)> = Vec::new();
+
+    let nmf = SimpleNmf {
+        rows: 60,
+        cols: 60,
+        k: 10,
+        block_size: 10,
+        density: 0.05,
+    };
+    cases.push((
+        "NMF".into(),
+        SimpleNmf::script().into(),
+        nmf.generate(7).unwrap(),
+        true,
+    ));
+
+    let mut from_session =
+        |name: &str, scripts: Vec<String>, bind: &dyn Fn(&mut Session), expect_savings: bool| {
+            let mut s = Session::new(Engine::fuseme(cluster()));
+            bind(&mut s);
+            for (i, script) in scripts.into_iter().enumerate() {
+                cases.push((format!("{name}#{i}"), script, s.bindings(), expect_savings));
+            }
+        };
+
+    let g = Gnmf {
+        density: 0.05,
+        ..gnmf()
+    };
+    from_session(
+        "GNMF update",
+        vec![Gnmf::update_script().into()],
+        &|s| g.bind_inputs(s, 13).unwrap(),
+        true,
+    );
+
+    let als = AlsLoss {
+        rows: 40,
+        cols: 40,
+        k: 8,
+        block_size: 8,
+        density: 0.05,
+    };
+    from_session(
+        "ALS",
+        vec![
+            AlsLoss::loss_script().into(),
+            AlsLoss::prediction_script().into(),
+        ],
+        &|s| als.bind_inputs(s, 13).unwrap(),
+        true,
+    );
+
+    // Dense workloads ride along as controls: densification is a semantic
+    // no-op for them, and no byte savings are claimed.
+    let pca = Pca {
+        n: 40,
+        d: 20,
+        sketch: 5,
+        block_size: 10,
+    };
+    from_session(
+        "PCA",
+        vec![Pca::row_pattern_script().into(), pca.covariance_script()],
+        &|s| pca.bind_inputs(s, 3).unwrap(),
+        false,
+    );
+
+    let ae = AutoEncoder {
+        inputs: 32,
+        features: 30,
+        h1: 20,
+        h2: 10,
+        batch: 16,
+        block_size: 10,
+        lr: 0.1,
+    };
+    from_session(
+        "AutoEncoder step",
+        vec![ae.step_script()],
+        &|s| ae.bind_inputs(s, 5).unwrap(),
+        false,
+    );
+
+    for (name, script, binds, expect_savings) in &cases {
+        let run = |binds: &Bindings| {
+            let mut s = Session::new(Engine::fuseme(cluster()));
+            for (n, m) in binds {
+                s.bind_shared(n, Arc::clone(m));
+            }
+            let report = s.run_script(script).expect("run must complete");
+            (report.outputs, s.engine().cluster().comm().total())
+        };
+        let (sparse_out, sparse_comm) = run(binds);
+        let (dense_out, dense_comm) = run(&densify_bindings(binds));
+        assert_outputs_close(name, &sparse_out, &dense_out, 1e-9);
+        if *expect_savings {
+            assert!(
+                sparse_comm < dense_comm,
+                "{name}: sparse path must ship strictly fewer bytes \
+                 ({sparse_comm} B vs {dense_comm} B)"
+            );
+        }
+    }
+}
+
 /// Builds the comparable accounting record of one multi-iteration GNMF
 /// run: the summary (wall-clock zeroed — the only legitimately
 /// nondeterministic field) plus every iteration's `(P,Q,R)` choices.
-fn gnmf_run(cache_budget: Option<u64>, fault_plan: Option<FaultPlan>, iters: usize) -> RunSummary {
-    let g = gnmf();
+fn gnmf_run_of(
+    g: Gnmf,
+    cache_budget: Option<u64>,
+    fault_plan: Option<FaultPlan>,
+    iters: usize,
+) -> RunSummary {
     let mut s = Session::new(Engine::fuseme(cluster()));
     s.set_replica_cache(cache_budget);
     s.set_fault_tolerance(FaultToleranceConfig::resilient());
@@ -175,6 +312,11 @@ fn gnmf_run(cache_budget: Option<u64>, fault_plan: Option<FaultPlan>, iters: usi
         ..fuseme_exec::driver::EngineStats::default()
     };
     RunSummary::completed("FuseME", &stats)
+}
+
+/// [`gnmf_run_of`] on the default half-dense fixture.
+fn gnmf_run(cache_budget: Option<u64>, fault_plan: Option<FaultPlan>, iters: usize) -> RunSummary {
+    gnmf_run_of(gnmf(), cache_budget, fault_plan, iters)
 }
 
 /// A *cold* cache-armed run — first iteration, nothing resident yet — must
@@ -265,6 +407,45 @@ fn ledger_reconciles_against_oracle_in_both_cache_postures() {
         );
         // And recovery never changes the cache's effectiveness either: the
         // saved bytes match the oracle's exactly.
+        assert_eq!(
+            oracle.cache.map(|c| c.saved_bytes),
+            faulted.cache.map(|c| c.saved_bytes),
+            "{posture}: recovery changed cache savings"
+        );
+    }
+}
+
+/// The same reconciliation must hold when the intermediates are *sparse*:
+/// at density 0.05 the rating matrix stays CSR through consolidation and
+/// Gustavson SpGEMM, so retried work re-ships CSR-sized replicas — and the
+/// ledger must still equal `oracle + wasted` to the byte, in both cache
+/// postures.
+#[test]
+fn ledger_reconciles_with_sparse_intermediates() {
+    let g = Gnmf {
+        density: 0.05,
+        ..gnmf()
+    };
+    let faults = || {
+        Some(
+            FaultPlan::new(0xD1FF)
+                .with_crash_rate(0.2)
+                .with_straggler_rate(0.2, 4.0),
+        )
+    };
+    for (posture, budget) in [("cache-off", None), ("cache-on", Some(1u64 << 30))] {
+        let oracle = gnmf_run_of(g, budget, None, 2);
+        let faulted = gnmf_run_of(g, budget, faults(), 2);
+        assert_eq!(oracle.status, RunStatus::Completed);
+        assert_eq!(faulted.status, RunStatus::Completed);
+        let f = faulted.faults.expect("fault plan must cause recovery work");
+        assert!(f.retries > 0, "{posture}: no retry ever fired");
+        assert_eq!(oracle.pqr, faulted.pqr, "{posture}: faults changed (P,Q,R)");
+        assert_eq!(
+            faulted.comm_total(),
+            oracle.comm_total() + f.wasted_bytes,
+            "{posture}: sparse-intermediate ledger must equal oracle + wasted"
+        );
         assert_eq!(
             oracle.cache.map(|c| c.saved_bytes),
             faulted.cache.map(|c| c.saved_bytes),
